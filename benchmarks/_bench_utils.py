@@ -1,0 +1,96 @@
+"""Shared helpers for the per-figure benchmark targets.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(Section 6 / Appendix B): it runs the same workload configuration on
+vanilla Fabric and on Fabric++ and prints the rows/series the figure
+plots. Absolute numbers differ from the paper (our substrate is a
+simulator, not a 6-server cluster); the *shape* — who wins, by what
+factor, where crossovers fall — is the reproduction target.
+
+Benchmarks default to a reduced sweep so the whole suite runs in minutes;
+set ``REPRO_BENCH_FULL=1`` for the paper's complete parameter grids.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+from typing import Dict, Optional
+
+from repro.bench.harness import run_experiment
+from repro.core.batch_cutter import BatchCutConfig
+from repro.fabric.config import FabricConfig
+from repro.workloads.custom import CustomWorkload, CustomWorkloadParams
+from repro.workloads.smallbank import SmallbankParams, SmallbankWorkload
+
+#: Simulated seconds per run (the paper fires for 90 s; shapes stabilise
+#: far earlier in the deterministic simulator).
+DURATION = float(os.environ.get("REPRO_BENCH_DURATION", "3.0"))
+
+
+def full_sweep() -> bool:
+    """True when the complete paper grids were requested."""
+    return os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+
+def paper_config(block_size: int = 1024, **overrides) -> FabricConfig:
+    """The paper's Table 5 system configuration."""
+    batch = overrides.pop(
+        "batch", BatchCutConfig(max_transactions=block_size)
+    )
+    return replace(FabricConfig(), batch=batch, **overrides)
+
+
+def custom_workload(
+    rw: int = 8,
+    hr: float = 0.40,
+    hw: float = 0.10,
+    hss: float = 0.01,
+    accounts: int = 10_000,
+    seed: int = 0,
+) -> CustomWorkload:
+    """The paper's custom workload (Table 7 parameter names)."""
+    return CustomWorkload(
+        CustomWorkloadParams(
+            num_accounts=accounts,
+            reads_writes=rw,
+            prob_hot_read=hr,
+            prob_hot_write=hw,
+            hot_set_fraction=hss,
+        ),
+        seed=seed,
+    )
+
+
+def smallbank_workload(
+    prob_write: float = 0.95,
+    s_value: float = 0.0,
+    users: Optional[int] = None,
+    seed: int = 0,
+) -> SmallbankWorkload:
+    """Smallbank as configured in the paper's Table 6."""
+    if users is None:
+        users = 100_000 if full_sweep() else 20_000
+    return SmallbankWorkload(
+        SmallbankParams(num_users=users, prob_write=prob_write, s_value=s_value),
+        seed=seed,
+    )
+
+
+def run_both(
+    config: FabricConfig,
+    make_workload,
+    duration: float = None,
+    params: Optional[Dict[str, object]] = None,
+):
+    """Run vanilla Fabric and Fabric++ on fresh copies of a workload."""
+    duration = DURATION if duration is None else duration
+    results = {}
+    for label, system in (
+        ("Fabric", config.with_vanilla()),
+        ("Fabric++", config.with_fabric_plus_plus()),
+    ):
+        results[label] = run_experiment(
+            system, make_workload(), duration, label=label, params=params
+        )
+    return results

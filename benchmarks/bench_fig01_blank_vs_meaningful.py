@@ -1,0 +1,54 @@
+"""Figure 1 — vanilla Fabric: meaningful vs blank transaction throughput.
+
+The paper's motivating experiment: firing *meaningful* transactions
+(custom workload, BS=1024, RW=8, HR=40%, HW=10%, HSS=1%) yields a large
+share of aborted transactions, while firing *blank* transactions (no
+logic, empty read/write sets) achieves essentially the same **total**
+throughput — proving the pipeline is bound by cryptography and
+networking, not by transaction processing.
+
+Expected shape: total(blank) ~= total(meaningful); meaningful splits into
+a substantial aborted share plus a smaller successful share.
+"""
+
+from _bench_utils import DURATION, custom_workload, paper_config
+
+from repro.bench.harness import run_experiment
+from repro.bench.report import format_table
+from repro.workloads.blank import BlankWorkload
+
+
+def run_figure1():
+    config = paper_config(block_size=1024)
+    meaningful = run_experiment(
+        config, custom_workload(), DURATION, label="Meaningful"
+    )
+    blank = run_experiment(config, BlankWorkload(), DURATION, label="Blank")
+    rows = [
+        {
+            "transactions": result.label,
+            "successful_tps": result.metrics.successful_tps(),
+            "aborted_tps": result.metrics.failed_tps(),
+            "total_tps": result.metrics.total_tps(),
+        }
+        for result in (meaningful, blank)
+    ]
+    return rows
+
+
+def test_fig01_blank_vs_meaningful(benchmark):
+    rows = benchmark.pedantic(run_figure1, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title=f"Figure 1 (duration={DURATION}s)"))
+    meaningful, blank = rows
+    # Blank transactions all succeed.
+    assert blank["aborted_tps"] == 0
+    # Meaningful transactions abort in large numbers under this config.
+    assert meaningful["aborted_tps"] > meaningful["successful_tps"]
+    # The totals are within ~15%: crypto/network-bound pipeline.
+    ratio = meaningful["total_tps"] / blank["total_tps"]
+    assert 0.85 < ratio < 1.15
+
+
+if __name__ == "__main__":
+    print(format_table(run_figure1(), title="Figure 1"))

@@ -1,0 +1,55 @@
+"""Figure 7 — the impact of the block size (16 .. 2048 transactions).
+
+Smallbank, Pw=95% (write-heavy), uniform account selection (s=0). Both
+systems gain throughput with larger blocks (less per-block overhead), and
+Fabric++ gains more at large blocks because its reordering has more
+within-block freedom to exploit.
+
+Expected shape: monotone-ish growth with diminishing returns for both
+systems; Fabric++ >= Fabric everywhere, gap widening with block size.
+"""
+
+from _bench_utils import full_sweep, paper_config, run_both, smallbank_workload
+
+from repro.bench.report import format_series
+
+BLOCK_SIZES_QUICK = [16, 64, 256, 1024, 2048]
+BLOCK_SIZES_FULL = [16, 32, 64, 128, 256, 512, 1024, 2048]
+
+
+def run_figure7():
+    block_sizes = BLOCK_SIZES_FULL if full_sweep() else BLOCK_SIZES_QUICK
+    series = {"Fabric": [], "Fabric++": []}
+    for block_size in block_sizes:
+        config = paper_config(block_size=block_size)
+        results = run_both(
+            config,
+            lambda: smallbank_workload(prob_write=0.95, s_value=0.0),
+            params={"BS": block_size},
+        )
+        for label, result in results.items():
+            series[label].append(result.successful_tps)
+    return block_sizes, series
+
+
+def test_fig07_blocksize(benchmark):
+    block_sizes, series = benchmark.pedantic(run_figure7, rounds=1, iterations=1)
+    print()
+    print(
+        format_series(
+            "blocksize", block_sizes, series,
+            title="Figure 7: successful TPS vs block size (Smallbank Pw=95%, s=0)",
+        )
+    )
+    fabric, fabricpp = series["Fabric"], series["Fabric++"]
+    # Larger blocks help: the largest block size beats the smallest.
+    assert fabric[-1] > fabric[0]
+    assert fabricpp[-1] > fabricpp[0]
+    # Fabric++ never loses to Fabric (small tolerance for noise).
+    for vanilla_tps, plus_tps in zip(fabric, fabricpp):
+        assert plus_tps >= 0.9 * vanilla_tps
+
+
+if __name__ == "__main__":
+    block_sizes, series = run_figure7()
+    print(format_series("blocksize", block_sizes, series, title="Figure 7"))

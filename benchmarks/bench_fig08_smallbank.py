@@ -1,0 +1,65 @@
+"""Figure 8 — Smallbank throughput across skew (s-value) and write mix.
+
+Three panels: Pw=5% (read-heavy), Pw=50% (balanced), Pw=95% (write-heavy),
+each sweeping the Zipf s-value from 0.0 (uniform) to 2.0 (highly skewed).
+
+Expected shape (paper Section 6.4.1): both systems high and close for
+s <= 0.6; Fabric++ pulls ahead from s = 1.0 (paper: 1.15-1.37x) and wins
+big at s = 2.0 (paper: 2.68-12.61x, largest for the write-heavy mix where
+vanilla is essentially jammed).
+"""
+
+from _bench_utils import full_sweep, paper_config, run_both, smallbank_workload
+
+from repro.bench.report import format_series, improvement_factor
+
+S_VALUES_QUICK = [0.0, 1.0, 2.0]
+S_VALUES_FULL = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0]
+WRITE_MIXES = [0.05, 0.50, 0.95]
+
+
+def run_figure8():
+    s_values = S_VALUES_FULL if full_sweep() else S_VALUES_QUICK
+    panels = {}
+    for prob_write in WRITE_MIXES:
+        series = {"Fabric": [], "Fabric++": []}
+        for s_value in s_values:
+            results = run_both(
+                paper_config(),
+                lambda: smallbank_workload(prob_write=prob_write, s_value=s_value),
+                params={"Pw": prob_write, "s": s_value},
+            )
+            for label, result in results.items():
+                series[label].append(result.successful_tps)
+        panels[prob_write] = series
+    return s_values, panels
+
+
+def test_fig08_smallbank(benchmark):
+    s_values, panels = benchmark.pedantic(run_figure8, rounds=1, iterations=1)
+    print()
+    for prob_write, series in panels.items():
+        print(
+            format_series(
+                "s-value", s_values, series,
+                title=f"Figure 8: Smallbank successful TPS, Pw={prob_write:.0%}",
+            )
+        )
+        print()
+    for prob_write, series in panels.items():
+        fabric, fabricpp = series["Fabric"], series["Fabric++"]
+        # At the highest skew Fabric++ clearly wins for write mixes.
+        if prob_write >= 0.5:
+            gain = improvement_factor(fabric[-1], fabricpp[-1])
+            assert gain > 1.5, f"Pw={prob_write}: gain {gain:.2f}"
+        # Under no skew both systems are healthy and close-ish.
+        assert fabricpp[0] >= 0.9 * fabric[0]
+        # Skew hurts vanilla throughput for modifying workloads.
+        if prob_write >= 0.5:
+            assert fabric[-1] < fabric[0]
+
+
+if __name__ == "__main__":
+    s_values, panels = run_figure8()
+    for prob_write, series in panels.items():
+        print(format_series("s-value", s_values, series, title=f"Pw={prob_write}"))

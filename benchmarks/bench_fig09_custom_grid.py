@@ -1,0 +1,68 @@
+"""Figure 9 — custom workload across the full parameter grid (Table 7).
+
+36 configurations in the paper: RW in {4, 8} x HR in {10, 20, 40}% x
+HW in {5, 10}% x HSS in {1, 2, 4}%. The quick sweep covers the corners
+plus the headline cell (RW=8, HR=40%, HW=10%, HSS=1%, paper: ~3x).
+
+Expected shape: Fabric++ >= Fabric in every cell, largest gain at the
+hottest configuration.
+"""
+
+from _bench_utils import custom_workload, full_sweep, paper_config, run_both
+
+from repro.bench.report import format_table, improvement_factor
+
+GRID_FULL = [
+    (rw, hr, hw, hss)
+    for rw in (4, 8)
+    for hr in (0.10, 0.20, 0.40)
+    for hw in (0.05, 0.10)
+    for hss in (0.01, 0.02, 0.04)
+]
+GRID_QUICK = [
+    (4, 0.10, 0.05, 0.04),   # coldest corner
+    (4, 0.40, 0.10, 0.01),
+    (8, 0.10, 0.05, 0.04),
+    (8, 0.40, 0.10, 0.01),   # hottest corner (headline cell)
+]
+
+
+def run_figure9():
+    grid = GRID_FULL if full_sweep() else GRID_QUICK
+    rows = []
+    for rw, hr, hw, hss in grid:
+        results = run_both(
+            paper_config(),
+            lambda: custom_workload(rw=rw, hr=hr, hw=hw, hss=hss),
+        )
+        rows.append(
+            {
+                "RW": rw,
+                "HR": f"{hr:.0%}",
+                "HW": f"{hw:.0%}",
+                "HSS": f"{hss:.0%}",
+                "Fabric": results["Fabric"].successful_tps,
+                "Fabric++": results["Fabric++"].successful_tps,
+                "factor": improvement_factor(
+                    results["Fabric"].successful_tps,
+                    results["Fabric++"].successful_tps,
+                ),
+            }
+        )
+    return rows
+
+
+def test_fig09_custom_grid(benchmark):
+    rows = benchmark.pedantic(run_figure9, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Figure 9: custom workload grid"))
+    # Fabric++ wins or ties everywhere.
+    for row in rows:
+        assert row["Fabric++"] >= 0.95 * row["Fabric"], row
+    # The hottest configuration shows a substantial gain (paper: ~3x).
+    hottest = max(rows, key=lambda row: row["factor"])
+    assert hottest["factor"] > 1.5
+
+
+if __name__ == "__main__":
+    print(format_table(run_figure9(), title="Figure 9"))

@@ -1,0 +1,67 @@
+"""Figure 10 — breakdown of the individual optimizations.
+
+Configuration BS=1024, RW=8, HR=40%, HW=10%, HSS=1%. Four systems:
+vanilla Fabric, Fabric++ with only reordering, only early abort, and both.
+
+Expected shape (paper: ~100 / ~150 / ~150 / ~220 successful TPS): each
+optimization alone improves over vanilla; both together do best because
+early abort keeps doomed transactions out of the reordering input.
+"""
+
+from dataclasses import replace
+
+from _bench_utils import DURATION, custom_workload, paper_config
+
+from repro.bench.harness import run_experiment
+from repro.bench.report import format_table
+
+VARIANTS = [
+    ("Fabric", dict()),
+    ("Fabric++ (only reordering)", dict(reordering=True)),
+    (
+        "Fabric++ (only early abort)",
+        dict(early_abort_simulation=True, early_abort_ordering=True),
+    ),
+    (
+        "Fabric++ (reordering & early abort)",
+        dict(
+            reordering=True,
+            early_abort_simulation=True,
+            early_abort_ordering=True,
+        ),
+    ),
+]
+
+
+def run_figure10():
+    rows = []
+    for label, flags in VARIANTS:
+        config = replace(paper_config(), **flags)
+        result = run_experiment(
+            config, custom_workload(), DURATION, label=label
+        )
+        rows.append(
+            {
+                "system": label,
+                "successful_tps": result.successful_tps,
+                "failed_tps": result.failed_tps,
+            }
+        )
+    return rows
+
+
+def test_fig10_breakdown(benchmark):
+    rows = benchmark.pedantic(run_figure10, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Figure 10: optimization breakdown"))
+    vanilla, only_reorder, only_early, both = [
+        row["successful_tps"] for row in rows
+    ]
+    assert only_reorder > vanilla
+    assert only_early > vanilla
+    assert both > vanilla
+    assert both >= max(only_reorder, only_early)
+
+
+if __name__ == "__main__":
+    print(format_table(run_figure10(), title="Figure 10"))

@@ -1,0 +1,108 @@
+"""Figure 11 — scaling the number of channels and clients per channel.
+
+(a) 1..8 channels with 2 clients each: throughput rises while peers have
+spare CPU, then degrades as channels compete for resources (paper: rises
+to 4 channels, drops at 8; failed TPS climbs steeply).
+
+(b) 1..8 clients in a single channel: vanilla Fabric rises gently;
+Fabric++ peaks early (paper: at 2 clients) and falls back toward Fabric
+at 8 clients as client contention lengthens the pipeline and staleness
+grows.
+"""
+
+from _bench_utils import DURATION, custom_workload, paper_config, run_both
+
+from repro.bench.report import format_series
+
+CHANNEL_COUNTS = [1, 2, 4, 8]
+CLIENT_COUNTS = [1, 2, 4, 8]
+
+
+def run_channels():
+    series = {"Fabric": [], "Fabric++": []}
+    failed = {"Fabric": [], "Fabric++": []}
+    for channels in CHANNEL_COUNTS:
+        config = paper_config(num_channels=channels, clients_per_channel=2)
+        results = run_both(
+            config,
+            lambda: custom_workload(),
+            params={"channels": channels},
+        )
+        for label, result in results.items():
+            series[label].append(result.successful_tps)
+            failed[label].append(result.failed_tps)
+    return series, failed
+
+
+def run_clients():
+    series = {"Fabric": [], "Fabric++": []}
+    failed = {"Fabric": [], "Fabric++": []}
+    for clients in CLIENT_COUNTS:
+        config = paper_config(num_channels=1, clients_per_channel=clients)
+        results = run_both(
+            config,
+            lambda: custom_workload(),
+            params={"clients": clients},
+        )
+        for label, result in results.items():
+            series[label].append(result.successful_tps)
+            failed[label].append(result.failed_tps)
+    return series, failed
+
+
+def test_fig11a_channels(benchmark):
+    series, failed = benchmark.pedantic(run_channels, rounds=1, iterations=1)
+    print()
+    print(
+        format_series(
+            "channels", CHANNEL_COUNTS, series,
+            title="Figure 11a: successful TPS vs number of channels",
+        )
+    )
+    print(
+        format_series(
+            "channels", CHANNEL_COUNTS, failed,
+            title="Figure 11a (failed TPS)",
+        )
+    )
+    for label in ("Fabric", "Fabric++"):
+        tps = series[label]
+        # More channels help initially...
+        assert max(tps) > tps[0]
+        # ...and failed TPS rises with channel count (resource competition).
+        assert failed[label][-1] > failed[label][0]
+    # Fabric++ keeps its lead while scaling.
+    assert series["Fabric++"][1] >= series["Fabric"][1]
+
+
+def test_fig11b_clients(benchmark):
+    series, failed = benchmark.pedantic(run_clients, rounds=1, iterations=1)
+    print()
+    print(
+        format_series(
+            "clients", CLIENT_COUNTS, series,
+            title="Figure 11b: successful TPS vs clients per channel",
+        )
+    )
+    print(
+        format_series(
+            "clients", CLIENT_COUNTS, failed,
+            title="Figure 11b (failed TPS)",
+        )
+    )
+    # Fabric++ beats Fabric at low client counts...
+    assert series["Fabric++"][1] > series["Fabric"][1]
+    # ...but the advantage shrinks under heavy client contention.
+    gain_low = series["Fabric++"][1] / max(series["Fabric"][1], 1)
+    gain_high = series["Fabric++"][-1] / max(series["Fabric"][-1], 1)
+    assert gain_high < gain_low
+    # Failed transactions climb with client count for both systems.
+    for label in ("Fabric", "Fabric++"):
+        assert failed[label][-1] > failed[label][0]
+
+
+if __name__ == "__main__":
+    channel_series, channel_failed = run_channels()
+    print(format_series("channels", CHANNEL_COUNTS, channel_series, title="11a"))
+    client_series, client_failed = run_clients()
+    print(format_series("clients", CLIENT_COUNTS, client_series, title="11b"))

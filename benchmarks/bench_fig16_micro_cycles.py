@@ -1,0 +1,82 @@
+"""Figure 16 (Appendix B.2) — micro-benchmark: varying the cycle length.
+
+The input is n transactions forming n/t conflict cycles of t transactions
+each, built from the paper's pattern::
+
+    T[r(k0), w(k0)], T[r(k0), w(k1)], T[r(k1), w(k2)], ..., T[r(k_{t-2}), w(k0)]
+
+Expected shape (paper): the arrival order commits only ~n/2 transactions
+regardless of cycle length (aborting every second transaction breaks the
+cycles); the reordering mechanism commits close to n - n/t (one abort per
+cycle), i.e. it improves as cycles get longer, at higher but still modest
+compute cost.
+"""
+
+from repro.testing import count_valid_in_order, rwset
+
+from _bench_utils import full_sweep
+
+from repro.bench.report import format_table
+from repro.core.reorder import reorder
+
+N = 1024
+
+
+def build_cycles(n, cycle_length):
+    """n/cycle_length cycles of the paper's shape."""
+    block = []
+    for cycle_index in range(n // cycle_length):
+        base = cycle_index * cycle_length
+        keys = [f"c{cycle_index}_k{i}" for i in range(cycle_length)]
+        for position in range(cycle_length):
+            read_key = keys[position - 1] if position else keys[-1]
+            block.append(rwset(reads=[read_key], writes=[keys[position]]))
+    return block
+
+
+def run_figure16():
+    lengths = (
+        [2, 4, 8, 16, 32, 64, 128, 256, 512]
+        if full_sweep()
+        else [2, 8, 32, 128, 512]
+    )
+    rows = []
+    for cycle_length in lengths:
+        block = build_cycles(N, cycle_length)
+        arrival_valid = count_valid_in_order(block, range(len(block)))
+        result = reorder(block)
+        reordered_valid = count_valid_in_order(block, result.schedule)
+        rows.append(
+            {
+                "cycle_length": cycle_length,
+                "transactions": len(block),
+                "arrival_valid": arrival_valid,
+                "reordered_valid": reordered_valid,
+                "aborted": len(result.aborted),
+                "time_ms": result.elapsed_seconds * 1000,
+            }
+        )
+    return rows
+
+
+def test_fig16_micro_cycles(benchmark):
+    rows = benchmark.pedantic(run_figure16, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Figure 16: cycle-length micro-benchmark"))
+    for row in rows:
+        n = row["transactions"]
+        cycles = n // row["cycle_length"]
+        # Reordering aborts exactly one transaction per cycle.
+        assert row["aborted"] == cycles
+        assert row["reordered_valid"] == n - cycles
+        # All survivors commit.
+        assert row["reordered_valid"] == n - row["aborted"]
+        # Arrival order is stuck around n/2.
+        assert row["arrival_valid"] <= n // 2 + cycles
+    # Longer cycles -> reordering recovers more transactions.
+    recovered = [row["reordered_valid"] for row in rows]
+    assert recovered == sorted(recovered)
+
+
+if __name__ == "__main__":
+    print(format_table(run_figure16(), title="Figure 16"))

@@ -1,0 +1,12 @@
+"""Pytest configuration for the benchmark suite.
+
+Each ``bench_*`` file regenerates one table or figure of the paper. The
+simulated runs are deterministic, so every benchmark uses a single
+pedantic round — the interesting output is the printed table, not the
+timing distribution.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

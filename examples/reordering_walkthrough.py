@@ -1,0 +1,61 @@
+"""Algorithm 1, step by step, on the paper's worked example (Section 5.1.1).
+
+Reproduces Tables 3-4 and Figures 3-5: six transactions T0..T5 over keys
+K0..K9, their conflict graph, the strongly connected subgraphs, the three
+cycles, the greedy aborts (T0 and T2), and the final serializable schedule
+T5 => T1 => T3 => T4.
+
+Run with::
+
+    python examples/reordering_walkthrough.py
+"""
+
+from repro.core.conflict_graph import build_conflict_graph
+from repro.core.reorder import reorder
+from repro.graphalgo import simple_cycles, strongly_connected_components
+from repro.testing import count_valid_in_order, paper_table3_rwsets
+
+
+def main():
+    block = paper_table3_rwsets()
+
+    print("Table 3 — read/write sets:")
+    for index, rwset in enumerate(block):
+        reads = ",".join(sorted(rwset.reads)) or "-"
+        writes = ",".join(sorted(rwset.writes)) or "-"
+        print(f"  T{index}: reads {{{reads}}}  writes {{{writes}}}")
+
+    graph = build_conflict_graph(block)
+    print("\nStep 1 — conflict graph edges (Ti -> Tj: Ti writes a key Tj reads):")
+    for source, target in sorted(graph.edges()):
+        print(f"  T{source} -> T{target}")
+
+    print("\nStep 2 — strongly connected subgraphs (Figure 4):")
+    for component in strongly_connected_components(graph):
+        print(f"  {{{', '.join(f'T{n}' for n in sorted(component))}}}")
+
+    print("\n          cycles within the subgraphs:")
+    for component in strongly_connected_components(graph):
+        if len(component) < 2:
+            continue
+        for cycle in simple_cycles(graph.subgraph(component)):
+            arrows = " -> ".join(f"T{n}" for n in cycle)
+            print(f"  {arrows} -> T{cycle[0]}")
+
+    result = reorder(block)
+    print("\nSteps 3+4 — greedy cycle breaking aborts:",
+          ", ".join(f"T{i}" for i in result.aborted))
+
+    schedule = " => ".join(f"T{i}" for i in result.schedule)
+    print(f"\nStep 5 — final serializable schedule: {schedule}")
+    assert result.schedule == [5, 1, 3, 4], "should match the paper exactly"
+
+    arrival_valid = count_valid_in_order(block, range(len(block)))
+    reordered_valid = count_valid_in_order(block, result.schedule)
+    print(f"\nwithin-block validation: arrival order commits {arrival_valid}/6, "
+          f"reordered schedule commits {reordered_valid}/6 "
+          f"(plus {len(result.aborted)} early-aborted instead of wasted)")
+
+
+if __name__ == "__main__":
+    main()

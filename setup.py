@@ -1,0 +1,10 @@
+"""Setup shim: lets `pip install -e .` work without network access.
+
+With no [build-system] table in pyproject.toml, pip falls back to the
+legacy setup.py path and skips build isolation (which would try to
+download setuptools). All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

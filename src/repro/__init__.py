@@ -1,0 +1,66 @@
+"""Fabric++ reproduction — transaction reordering and early abort for
+Hyperledger Fabric.
+
+A from-scratch Python reproduction of *Blurring the Lines between
+Blockchains and Database Systems: the Case of Hyperledger Fabric*
+(Sharma, Schuhknecht, Agrawal, Dittrich — SIGMOD 2019): the full
+simulate-order-validate-commit pipeline of Fabric v1.2, plus the paper's
+two optimizations (within-block transaction reordering and early
+transaction abort), running on a deterministic discrete-event simulation.
+
+Quickstart::
+
+    from repro import FabricConfig, FabricNetwork, SmallbankWorkload
+
+    vanilla = FabricConfig()
+    fabricpp = vanilla.with_fabric_plus_plus()
+    workload = SmallbankWorkload()
+
+    metrics = FabricNetwork(fabricpp, workload).run(duration=5.0)
+    print(metrics.summary())
+"""
+
+from repro.core.reorder import ReorderResult, reorder
+from repro.core.early_abort import filter_stale_within_block
+from repro.fabric.chaincode import Chaincode, ChaincodeStub
+from repro.fabric.config import BatchCutConfig, CostModel, FabricConfig
+from repro.fabric.metrics import PipelineMetrics, TxOutcome
+from repro.fabric.network import FabricNetwork
+from repro.fabric.policy import AllOrgs, AnyOrg, OutOf, RequireOrg
+from repro.fabric.rwset import ReadWriteSet
+from repro.ledger.state_db import StateDatabase, Version
+from repro.workloads.blank import BlankWorkload
+from repro.workloads.custom import CustomWorkload, CustomWorkloadParams
+from repro.workloads.smallbank import SmallbankParams, SmallbankWorkload
+from repro.workloads.ycsb import YcsbParams, YcsbWorkload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "reorder",
+    "ReorderResult",
+    "filter_stale_within_block",
+    "Chaincode",
+    "ChaincodeStub",
+    "BatchCutConfig",
+    "CostModel",
+    "FabricConfig",
+    "PipelineMetrics",
+    "TxOutcome",
+    "FabricNetwork",
+    "AllOrgs",
+    "AnyOrg",
+    "OutOf",
+    "RequireOrg",
+    "ReadWriteSet",
+    "StateDatabase",
+    "Version",
+    "BlankWorkload",
+    "CustomWorkload",
+    "CustomWorkloadParams",
+    "SmallbankParams",
+    "SmallbankWorkload",
+    "YcsbParams",
+    "YcsbWorkload",
+    "__version__",
+]

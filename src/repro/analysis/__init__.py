@@ -1,0 +1,27 @@
+"""Experiment records: persist, reload, and compare benchmark runs.
+
+The benchmark harness produces in-memory metrics; this package turns them
+into durable, comparable artefacts:
+
+- :class:`RunRecord` — one run's identity (label, workload, parameters,
+  seed) plus its metric summary and throughput time series;
+- :func:`save_records` / :func:`load_records` — JSON round trip;
+- :func:`comparison_report` — a text report of several records with
+  improvement factors against a chosen baseline.
+"""
+
+from repro.analysis.records import (
+    RunRecord,
+    comparison_report,
+    load_records,
+    record_from_result,
+    save_records,
+)
+
+__all__ = [
+    "RunRecord",
+    "comparison_report",
+    "load_records",
+    "record_from_result",
+    "save_records",
+]

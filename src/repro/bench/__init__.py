@@ -1,0 +1,32 @@
+"""Benchmark harness.
+
+The paper's experiments are driven by the authors' own benchmarking
+framework (Section 6.2.1) plus one Hyperledger Caliper run (Section 6.7).
+This package provides both:
+
+- :mod:`repro.bench.harness` — run a configuration against a workload and
+  collect throughput/latency numbers; compare vanilla Fabric against
+  Fabric++ on identical inputs;
+- :mod:`repro.bench.caliper` — a Caliper-style report (min/avg/max latency
+  plus successful TPS, Table 8);
+- :mod:`repro.bench.report` — plain-text tables and series matching the
+  rows the paper's figures plot.
+"""
+
+from repro.bench.caliper import CaliperReport, run_caliper
+from repro.bench.harness import (
+    ExperimentResult,
+    compare_fabric_vs_fabricpp,
+    run_experiment,
+)
+from repro.bench.report import format_series, format_table
+
+__all__ = [
+    "CaliperReport",
+    "run_caliper",
+    "ExperimentResult",
+    "compare_fabric_vs_fabricpp",
+    "run_experiment",
+    "format_series",
+    "format_table",
+]

@@ -1,0 +1,69 @@
+"""Caliper-style benchmark report (paper Section 6.7, Table 8).
+
+Hyperledger Caliper reports maximum, minimum, and average transaction
+latency together with the throughput of successful transactions. The paper
+runs it at a reduced firing rate (150 proposals/s per client, 600 total)
+with block size 512, because Caliper cannot sustain the main experiments'
+rates. :func:`run_caliper` reproduces that setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.core.batch_cutter import BatchCutConfig
+from repro.fabric.config import FabricConfig
+from repro.fabric.network import FabricNetwork, WorkloadSpec
+
+
+@dataclass(frozen=True)
+class CaliperReport:
+    """The Table 8 metric quadruple for one system."""
+
+    label: str
+    max_latency: float
+    min_latency: float
+    avg_latency: float
+    successful_tps: float
+
+    def rows(self) -> list:
+        """Rows in the paper's Table 8 ordering."""
+        return [
+            ("Max. Latency [seconds]", round(self.max_latency, 2)),
+            ("Min. Latency [seconds]", round(self.min_latency, 2)),
+            ("Avg. Latency [seconds]", round(self.avg_latency, 2)),
+            ("Avg. Successful Transactions per second", round(self.successful_tps)),
+        ]
+
+
+def run_caliper(
+    config: FabricConfig,
+    workload: WorkloadSpec,
+    duration: float = 10.0,
+    rate_per_client: float = 150.0,
+    block_size: int = 512,
+    label: Optional[str] = None,
+) -> CaliperReport:
+    """Run the Caliper scenario: low rate, block size 512."""
+    caliper_config = replace(
+        config,
+        client_rate=rate_per_client,
+        batch=replace(config.batch, max_transactions=block_size),
+    )
+    network = FabricNetwork(caliper_config, workload)
+    metrics = network.run(duration=duration)
+    latency = metrics.latency()
+    if latency is None:
+        raise RuntimeError("no transaction committed; cannot report latency")
+    return CaliperReport(
+        label=label
+        or ("Fabric++" if caliper_config.is_fabric_plus_plus else "Fabric"),
+        max_latency=latency.maximum,
+        min_latency=latency.minimum,
+        avg_latency=latency.average,
+        successful_tps=metrics.successful_tps(),
+    )
+
+
+__all__ = ["CaliperReport", "run_caliper", "BatchCutConfig"]

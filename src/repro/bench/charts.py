@@ -1,0 +1,73 @@
+"""ASCII charts: render benchmark series as horizontal bar charts.
+
+Plotting libraries are unavailable offline, and the paper's figures are
+mostly grouped bar/line charts of one metric over one swept parameter —
+which horizontal text bars render perfectly well::
+
+    blocksize=16    Fabric   |#########                    348.3
+                    Fabric++ |#########                    348.7
+    blocksize=1024  Fabric   |#######################      872.7
+                    Fabric++ |########################     887.3
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+BAR_WIDTH = 40
+
+
+def bar_chart(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Dict[str, Sequence[float]],
+    title: str = "",
+    width: int = BAR_WIDTH,
+) -> str:
+    """Render grouped horizontal bars, one group per x value."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    peak = max(
+        (value for values in series.values() for value in values),
+        default=0.0,
+    )
+    scale = (width / peak) if peak > 0 else 0.0
+    label_width = max((len(name) for name in series), default=0)
+    group_width = max(
+        [len(f"{x_label}={x}") for x in x_values] + [0]
+    )
+
+    lines = []
+    if title:
+        lines.append(title)
+    for index, x in enumerate(x_values):
+        group = f"{x_label}={x}".ljust(group_width)
+        for position, (name, values) in enumerate(series.items()):
+            value = values[index]
+            bar = "#" * max(0, int(round(value * scale)))
+            prefix = group if position == 0 else " " * group_width
+            lines.append(
+                f"{prefix}  {name.ljust(label_width)} |{bar.ljust(width)} {value:.1f}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Render a compact one-line trend of ``values``.
+
+    Useful for throughput time series in run summaries.
+    """
+    if not values:
+        return ""
+    glyphs = " .:-=+*#%@"
+    low = min(values)
+    high = max(values)
+    if high == low:
+        return glyphs[len(glyphs) // 2] * len(values)
+    span = high - low
+    out = []
+    for value in values:
+        index = int((value - low) / span * (len(glyphs) - 1))
+        out.append(glyphs[index])
+    return "".join(out)

@@ -1,0 +1,66 @@
+"""Plain-text tables and series for benchmark output.
+
+The benchmark targets print the same rows/series the paper's figures plot;
+these helpers render them readably on a terminal without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(rows: Sequence[Dict[str, object]], title: str = "") -> str:
+    """Render dict-rows as an aligned text table (first row fixes columns)."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(rows[0].keys())
+    rendered = [[_cell(row.get(col)) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in rendered))
+        for i, col in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for line in rendered:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(line)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Dict[str, Sequence[float]],
+    title: str = "",
+) -> str:
+    """Render several y-series over shared x-values, one row per x.
+
+    This is the textual analogue of one paper figure: each series is a
+    plotted line (e.g. "Fabric" and "Fabric++").
+    """
+    rows = []
+    for index, x in enumerate(x_values):
+        row: Dict[str, object] = {x_label: x}
+        for name, values in series.items():
+            row[name] = round(values[index], 1)
+        rows.append(row)
+    return format_table(rows, title=title)
+
+
+def improvement_factor(baseline: float, improved: float) -> float:
+    """Improvement of ``improved`` over ``baseline`` (paper's 'x' factors)."""
+    if baseline <= 0:
+        return float("inf") if improved > 0 else 1.0
+    return improved / baseline
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    if isinstance(value, dict):
+        return ",".join(f"{k}={v}" for k, v in value.items())
+    return str(value)

@@ -1,0 +1,272 @@
+"""Command-line interface: run experiments without writing code.
+
+Three subcommands mirror the library's main entry points::
+
+    python -m repro run --workload smallbank --system fabric++ --s-value 1.5
+    python -m repro compare --workload custom --hr 0.4 --hw 0.1 --duration 5
+    python -m repro caliper --workload custom --rate 150
+
+``run`` executes one system/workload combination and prints the metric
+summary; ``compare`` runs vanilla Fabric and Fabric++ on identical inputs
+and prints both plus the improvement factor; ``caliper`` reproduces the
+paper's Table 8 measurement discipline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from typing import Optional, Sequence
+
+from repro.bench.caliper import run_caliper
+from repro.bench.harness import run_experiment
+from repro.bench.report import format_table, improvement_factor
+from repro.core.batch_cutter import BatchCutConfig
+from repro.fabric.config import FabricConfig
+from repro.workloads.base import Workload
+from repro.workloads.blank import BlankWorkload
+from repro.workloads.custom import CustomWorkload, CustomWorkloadParams
+from repro.workloads.smallbank import SmallbankParams, SmallbankWorkload
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fabric++ reproduction: run simulated Fabric experiments.",
+    )
+    subcommands = parser.add_subparsers(dest="command", required=True)
+
+    for name, help_text in (
+        ("run", "run one system on one workload"),
+        ("compare", "run vanilla Fabric and Fabric++ on identical inputs"),
+        ("caliper", "Caliper-style latency/throughput measurement (Table 8)"),
+    ):
+        sub = subcommands.add_parser(name, help=help_text)
+        _add_workload_arguments(sub)
+        _add_system_arguments(sub, with_system=(name == "run"))
+        sub.add_argument(
+            "--duration", type=float, default=3.0,
+            help="simulated seconds to fire the workload (default 3)",
+        )
+        sub.add_argument(
+            "--json", metavar="PATH", default=None,
+            help="also save the run records to PATH as JSON",
+        )
+        if name == "caliper":
+            sub.add_argument(
+                "--rate", type=float, default=150.0,
+                help="proposals per second per client (default 150)",
+            )
+
+    verify = subcommands.add_parser(
+        "verify-ledger",
+        help="verify the hash chain of an exported ledger file",
+    )
+    verify.add_argument("path", help="ledger JSON written by repro.ledger.export")
+    return parser
+
+
+def _add_workload_arguments(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--workload", choices=("smallbank", "custom", "blank", "ycsb"),
+        default="smallbank",
+    )
+    sub.add_argument("--seed", type=int, default=42)
+    # Smallbank knobs (paper Table 6).
+    sub.add_argument("--users", type=int, default=20_000,
+                     help="smallbank: number of users")
+    sub.add_argument("--prob-write", type=float, default=0.95,
+                     help="smallbank: probability of a modifying transaction")
+    sub.add_argument("--s-value", type=float, default=0.0,
+                     help="smallbank: Zipf skew (0 = uniform)")
+    # Custom workload knobs (paper Table 7).
+    sub.add_argument("--accounts", type=int, default=10_000,
+                     help="custom: number of account balances (N)")
+    sub.add_argument("--rw", type=int, default=8,
+                     help="custom: reads and writes per transaction")
+    sub.add_argument("--hr", type=float, default=0.40,
+                     help="custom: probability of a hot read")
+    sub.add_argument("--hw", type=float, default=0.10,
+                     help="custom: probability of a hot write")
+    sub.add_argument("--hss", type=float, default=0.01,
+                     help="custom: hot account fraction")
+    # YCSB knobs.
+    sub.add_argument("--ycsb-preset", choices=tuple("abcdef"), default="a",
+                     help="ycsb: standard core workload mix")
+    sub.add_argument("--records", type=int, default=10_000,
+                     help="ycsb: number of records")
+
+
+def _add_system_arguments(sub: argparse.ArgumentParser, with_system: bool) -> None:
+    if with_system:
+        sub.add_argument(
+            "--system", choices=("fabric", "fabric++"), default="fabric",
+        )
+    sub.add_argument("--block-size", type=int, default=1024)
+    sub.add_argument("--clients", type=int, default=4,
+                     help="clients per channel")
+    sub.add_argument("--channels", type=int, default=1)
+    sub.add_argument("--client-rate", type=float, default=512.0,
+                     help="proposals per second per client")
+
+
+def workload_from_args(args: argparse.Namespace) -> Workload:
+    """Build the workload the arguments describe."""
+    if args.workload == "smallbank":
+        return SmallbankWorkload(
+            SmallbankParams(
+                num_users=args.users,
+                prob_write=args.prob_write,
+                s_value=args.s_value,
+            ),
+            seed=args.seed,
+        )
+    if args.workload == "custom":
+        return CustomWorkload(
+            CustomWorkloadParams(
+                num_accounts=args.accounts,
+                reads_writes=args.rw,
+                prob_hot_read=args.hr,
+                prob_hot_write=args.hw,
+                hot_set_fraction=args.hss,
+            ),
+            seed=args.seed,
+        )
+    if args.workload == "ycsb":
+        from repro.workloads.ycsb import YcsbParams, YcsbWorkload
+
+        return YcsbWorkload(
+            YcsbParams.preset(
+                args.ycsb_preset,
+                num_records=args.records,
+                s_value=args.s_value or 0.99,
+            ),
+            seed=args.seed,
+        )
+    return BlankWorkload()
+
+
+def config_from_args(args: argparse.Namespace) -> FabricConfig:
+    """Build the network configuration the arguments describe."""
+    config = replace(
+        FabricConfig(),
+        batch=BatchCutConfig(max_transactions=args.block_size),
+        clients_per_channel=args.clients,
+        num_channels=args.channels,
+        client_rate=args.client_rate,
+        seed=args.seed,
+    )
+    if getattr(args, "system", "fabric") == "fabric++":
+        config = config.with_fabric_plus_plus()
+    return config
+
+
+def command_run(args: argparse.Namespace) -> int:
+    config = config_from_args(args)
+    result = run_experiment(
+        config, workload_from_args(args), duration=args.duration
+    )
+    print(format_table([result.row()], title=f"{result.label} / {args.workload}"))
+    _maybe_save(args, [result])
+    return 0
+
+
+def command_compare(args: argparse.Namespace) -> int:
+    rows = []
+    results = {}
+    for label in ("fabric", "fabric++"):
+        args.system = label
+        config = config_from_args(args)
+        result = run_experiment(
+            config, workload_from_args(args), duration=args.duration
+        )
+        results[label] = result
+        rows.append(result.row())
+    print(format_table(rows, title=f"Fabric vs Fabric++ / {args.workload}"))
+    factor = improvement_factor(
+        results["fabric"].successful_tps, results["fabric++"].successful_tps
+    )
+    print(f"\nFabric++ successful-throughput improvement: {factor:.2f}x")
+    _maybe_save(args, list(results.values()))
+    return 0
+
+
+def command_caliper(args: argparse.Namespace) -> int:
+    rows = []
+    for label in ("fabric", "fabric++"):
+        args.system = label
+        config = config_from_args(args)
+        report = run_caliper(
+            config,
+            workload_from_args(args),
+            duration=args.duration,
+            rate_per_client=args.rate,
+            block_size=min(args.block_size, 512),
+        )
+        rows.append(
+            {
+                "system": report.label,
+                "max_latency": report.max_latency,
+                "min_latency": report.min_latency,
+                "avg_latency": report.avg_latency,
+                "successful_tps": report.successful_tps,
+            }
+        )
+    print(format_table(rows, title="Caliper report"))
+    return 0
+
+
+def command_verify_ledger(args: argparse.Namespace) -> int:
+    from repro.errors import LedgerError
+    from repro.ledger.export import load_ledger
+
+    try:
+        ledger = load_ledger(args.path)
+    except LedgerError as error:
+        print(f"INVALID: {error}")
+        return 1
+    transactions = sum(len(block) for block in ledger)
+    valid = sum(
+        1
+        for block in ledger
+        for flag in block.validity.values()
+        if flag
+    )
+    print(f"OK: {ledger.height} blocks, {transactions} transactions "
+          f"({valid} valid), chain intact")
+    return 0
+
+
+def _maybe_save(args: argparse.Namespace, results) -> None:
+    """Persist results when --json was given."""
+    path = getattr(args, "json", None)
+    if not path:
+        return
+    from repro.analysis import record_from_result, save_records
+
+    records = [
+        record_from_result(result, workload=args.workload)
+        for result in results
+    ]
+    save_records(path, records)
+    print(f"\nsaved {len(records)} run record(s) to {path}")
+
+
+COMMANDS = {
+    "run": command_run,
+    "compare": command_compare,
+    "caliper": command_caliper,
+    "verify-ledger": command_verify_ledger,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution guard
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""Early abort in the ordering phase (paper Section 5.2.2).
+
+Fabric commits at block granularity, so two transactions within the same
+block that read the same key must have read the same *version* of that key
+— otherwise a commit from an earlier block intervened between their
+simulations, and the transaction that read the **older** version is provably
+stale (it can never pass validation). The orderer can therefore abort it
+before the block is distributed.
+
+Note on direction: the paper's running text says "the latter transaction"
+is aborted, but the official correction attached to the paper states that
+in the example it is T6 — the transaction holding the *older* version —
+that becomes invalid. We implement the corrected rule: for each key, keep
+the transactions that read the newest observed version and abort the rest.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.ledger.state_db import Version
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.fabric.rwset import ReadWriteSet
+
+
+def filter_stale_within_block(
+    rwsets: Sequence["ReadWriteSet"],
+) -> Tuple[List[int], List[int]]:
+    """Split a batch into (kept, early_aborted) indices by version mismatch.
+
+    For every key read by at least two transactions of the batch at
+    *different* versions, the transactions that read anything but the
+    newest observed version of that key are early-aborted. Reads of an
+    absent key (version ``None``) are treated as older than any concrete
+    version, since a concrete read proves the key now exists.
+    """
+    newest: Dict[str, Optional[Version]] = {}
+    for rwset in rwsets:
+        for key, version in rwset.reads.items():
+            if key not in newest:
+                newest[key] = version
+            elif _is_newer(version, newest[key]):
+                newest[key] = version
+
+    kept: List[int] = []
+    aborted: List[int] = []
+    for index, rwset in enumerate(rwsets):
+        stale = any(
+            rwset.reads[key] != newest[key] for key in rwset.reads
+        )
+        if stale:
+            aborted.append(index)
+        else:
+            kept.append(index)
+    return kept, aborted
+
+
+def _is_newer(candidate: Optional[Version], incumbent: Optional[Version]) -> bool:
+    """True if ``candidate`` is a strictly newer version than ``incumbent``."""
+    if candidate is None:
+        return False
+    if incumbent is None:
+        return True
+    return candidate > incumbent

@@ -1,0 +1,84 @@
+"""Identities: the membership-service-provider (MSP) stand-in.
+
+Fabric is permissioned — all peers are known, grouped into organizations
+(paper Section 2.1). An :class:`IdentityRegistry` plays the role of the MSP:
+it mints key pairs for named members and lets validators look up the public
+key of any signer. Because our signatures are HMAC-based (symmetric), the
+"public key" is a verification token derived from the secret; the registry
+is trusted, exactly like the MSP certificate authority it replaces.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+from repro.errors import CryptoError
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A signing secret and its derived verification token."""
+
+    secret: bytes
+    verify_token: bytes
+
+    @classmethod
+    def generate(cls, seed: bytes) -> "KeyPair":
+        """Derive a deterministic key pair from ``seed``."""
+        secret = hashlib.sha256(b"secret:" + seed).digest()
+        verify_token = hashlib.sha256(b"verify:" + secret).digest()
+        return cls(secret, verify_token)
+
+
+@dataclass(frozen=True)
+class Identity:
+    """A named network member (peer, client, or orderer) within an org."""
+
+    name: str
+    org: str
+    keypair: KeyPair = field(repr=False, compare=False, hash=False)
+
+    @classmethod
+    def create(cls, name: str, org: str) -> "Identity":
+        """Mint an identity with a key pair derived from its name."""
+        return cls(name, org, KeyPair.generate(f"{org}/{name}".encode()))
+
+
+class IdentityRegistry:
+    """The trusted directory of all network identities (MSP stand-in)."""
+
+    def __init__(self) -> None:
+        self._members: Dict[str, Identity] = {}
+
+    def register(self, name: str, org: str) -> Identity:
+        """Create and store the identity ``name`` belonging to ``org``."""
+        if name in self._members:
+            raise CryptoError(f"identity {name!r} already registered")
+        identity = Identity.create(name, org)
+        self._members[name] = identity
+        return identity
+
+    def lookup(self, name: str) -> Identity:
+        """Return the registered identity called ``name``."""
+        try:
+            return self._members[name]
+        except KeyError:
+            raise CryptoError(f"unknown identity {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._members
+
+    def __iter__(self) -> Iterator[Identity]:
+        return iter(self._members.values())
+
+    def members_of(self, org: str) -> Iterator[Identity]:
+        """Iterate over all identities belonging to ``org``."""
+        return (member for member in self._members.values() if member.org == org)
+
+
+def mac(secret: bytes, payload: bytes) -> bytes:
+    """Compute the keyed MAC at the core of our simulated signatures."""
+    return hmac.new(secret, payload, hashlib.sha256).digest()

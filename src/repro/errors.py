@@ -1,0 +1,37 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one base class at the API boundary.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class LedgerError(ReproError):
+    """Raised for violations of ledger invariants (broken hash chain, etc.)."""
+
+
+class StateError(ReproError):
+    """Raised for invalid operations on the state database."""
+
+
+class CryptoError(ReproError):
+    """Raised for signature or identity failures."""
+
+
+class SimulationError(ReproError):
+    """Raised for misuse of the discrete-event simulation engine."""
+
+
+class ChaincodeError(ReproError):
+    """Raised when a chaincode invocation fails or misbehaves."""
+
+
+class PolicyError(ReproError):
+    """Raised for malformed endorsement policies."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid network or benchmark configuration."""

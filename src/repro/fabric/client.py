@@ -1,0 +1,198 @@
+"""Clients: proposal firing, endorsement collection, transaction assembly.
+
+A client fires transaction proposals uniformly at a configured rate (the
+paper's benchmark framework fires 512 proposals per second per client,
+Table 5), collects endorsements from one peer of every organization the
+endorsement policy names, checks that all returned read/write sets agree,
+assembles the transaction, and submits it to the ordering service.
+
+Backpressure: the real benchmark drives Fabric through synchronous gRPC
+client stubs, so the number of unresolved proposals per client is bounded.
+``client_window`` models that bound — when it is reached, firing stalls
+until an outcome (commit, abort, or early abort) frees a slot. Fabric++'s
+early aborts therefore recycle client capacity sooner, one of the ways the
+paper's optimizations lift successful throughput.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Generator, List, Optional, Sequence
+
+from repro.crypto.identity import Identity
+from repro.fabric.config import FabricConfig
+from repro.fabric.metrics import PipelineMetrics, TxOutcome
+from repro.fabric.orderer import OrderingService
+from repro.fabric.peer import EndorseReply, Peer
+from repro.fabric.policy import EndorsementPolicy
+from repro.fabric.transaction import Proposal, Transaction
+from repro.sim.distributions import Rng
+from repro.sim.engine import Environment, Event
+from repro.sim.resources import Resource
+from repro.workloads.base import Workload
+
+
+class Client:
+    """One benchmark client bound to a channel."""
+
+    def __init__(
+        self,
+        env: Environment,
+        identity: Identity,
+        channel: str,
+        config: FabricConfig,
+        workload: Workload,
+        rng: Rng,
+        endorser_pools: Dict[str, Sequence[Peer]],
+        policy: EndorsementPolicy,
+        orderer: OrderingService,
+        machine_cpu: Resource,
+        metrics: PipelineMetrics,
+        register_pending: Callable[[str, "Client", float], None],
+    ) -> None:
+        self.env = env
+        self.identity = identity
+        self.channel = channel
+        self.config = config
+        self.workload = workload
+        self.rng = rng
+        self.policy = policy
+        self.orderer = orderer
+        self.machine_cpu = machine_cpu
+        self.metrics = metrics
+        self._register_pending = register_pending
+        # Round-robin endorser choice per org, as real SDKs load-balance.
+        self._endorser_cycles = {
+            org: itertools.cycle(list(peers))
+            for org, peers in endorser_pools.items()
+        }
+        self._sequence = 0
+        self._in_flight = 0
+        self._slot_waiter: Optional[Event] = None
+        self._stopped = False
+
+    # -- firing loop ---------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin firing proposals at the configured rate."""
+        self.env.process(self._fire_loop(), name=f"{self.identity.name}/fire")
+
+    def stop(self) -> None:
+        """Stop firing new proposals (in-flight ones still resolve)."""
+        self._stopped = True
+
+    def _fire_loop(self) -> Generator:
+        interval = 1.0 / self.config.client_rate
+        next_fire = self.env.now
+        while not self._stopped:
+            if self.env.now < next_fire:
+                yield self.env.timeout(next_fire - self.env.now)
+            if self._stopped:
+                return
+            if self._in_flight >= self.config.client_window:
+                self._slot_waiter = self.env.event()
+                yield self._slot_waiter
+                self._slot_waiter = None
+                if self._stopped:
+                    return
+            self._fire_one()
+            next_fire += interval
+            if self.env.now > next_fire:
+                # We fell behind (window stall); resume the cadence from
+                # now rather than releasing a burst of make-up proposals.
+                next_fire = self.env.now
+
+    def _fire_one(self) -> None:
+        invocation = self.workload.next_invocation(self.rng)
+        self._sequence += 1
+        proposal = Proposal(
+            proposal_id=f"{self.identity.name}-{self._sequence}",
+            client=self.identity.name,
+            channel=self.channel,
+            chaincode=self.workload.chaincode_name,
+            function=invocation.function,
+            args=invocation.args,
+            submitted_at=self.env.now,
+        )
+        self.metrics.record_fired()
+        self._in_flight += 1
+        self.env.process(
+            self._submit(proposal), name=f"{self.identity.name}/submit"
+        )
+
+    # -- one proposal's lifecycle ----------------------------------------------------
+
+    def _submit(self, proposal: Proposal) -> Generator:
+        costs = self.config.costs
+        yield from self.machine_cpu.use(costs.client_proposal)
+
+        endorsers = self._pick_endorsers()
+        # Ship the proposal to the endorsers (one network hop) and gather
+        # their replies in parallel.
+        yield self.env.timeout(costs.net_message)
+        replies: List[EndorseReply] = yield self.env.all_of(
+            [peer.endorse(self.channel, proposal) for peer in endorsers]
+        )
+        yield self.env.timeout(costs.net_message)
+
+        early = [reply for reply in replies if reply.early_aborted]
+        if early:
+            # Fabric++: a stale simulation was aborted at the endorser; the
+            # client learns immediately and the slot frees without the
+            # proposal ever touching the orderer (Section 5.2.1).
+            self.resolve(proposal, TxOutcome.EARLY_ABORT_SIM)
+            return
+
+        yield from self.machine_cpu.use(
+            costs.client_verify_endorsement * len(replies)
+        )
+        endorsements = [reply.endorsement for reply in replies]
+        reference = endorsements[0].rwset
+        if any(e.rwset != reference for e in endorsements[1:]):
+            # Non-determinism or a tampering endorser: the read/write sets
+            # disagree, so no transaction can be formed (Section 2.2.1).
+            self.resolve(proposal, TxOutcome.ENDORSEMENT_MISMATCH)
+            return
+
+        transaction = Transaction(
+            tx_id=proposal.proposal_id,
+            proposal=proposal,
+            rwset=reference,
+            endorsements=endorsements,
+            assembled_at=self.env.now,
+        )
+        self._register_pending(transaction.tx_id, self, proposal.submitted_at)
+        yield self.env.timeout(costs.net_message)
+        self.orderer.submit(transaction)
+
+    def _pick_endorsers(self) -> List[Peer]:
+        """One peer per org required by the endorsement policy."""
+        return [
+            next(self._endorser_cycles[org])
+            for org in sorted(self.policy.required_orgs())
+        ]
+
+    # -- outcome handling --------------------------------------------------------------
+
+    def resolve(
+        self,
+        proposal_or_submitted: object,
+        outcome: TxOutcome,
+        submitted_at: Optional[float] = None,
+    ) -> None:
+        """Record a terminal outcome and free the client slot.
+
+        Called either directly (early sim abort, mismatch) with the
+        proposal, or by the network resolver with the submission time.
+        """
+        if submitted_at is None:
+            submitted_at = proposal_or_submitted.submitted_at
+        latency = self.env.now - submitted_at
+        self.metrics.record_outcome(outcome, latency, now=self.env.now)
+        self._in_flight -= 1
+        if self._slot_waiter is not None and not self._slot_waiter.triggered:
+            self._slot_waiter.succeed()
+        if self.config.resubmit_failed and not outcome.is_success and not self._stopped:
+            # Immediate resubmission of the failed business intent as a
+            # fresh proposal (fresh simulation, new chance to commit).
+            self._fire_one()

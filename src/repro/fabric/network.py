@@ -1,0 +1,210 @@
+"""Network topology and the experiment entry point.
+
+:class:`FabricNetwork` wires a complete deployment, mirroring the paper's
+cluster (Section 6.1): organizations contribute peers, one machine runs the
+ordering service for all channels, one machine hosts all benchmark clients.
+``run(duration)`` fires the configured workload for a stretch of simulated
+time and returns the collected :class:`PipelineMetrics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.crypto.identity import IdentityRegistry
+from repro.errors import ConfigError
+from repro.fabric.chaincode import ChaincodeRegistry
+from repro.fabric.client import Client
+from repro.fabric.config import FabricConfig
+from repro.fabric.metrics import PipelineMetrics, TxOutcome
+from repro.fabric.orderer import OrderingService
+from repro.fabric.peer import Peer
+from repro.fabric.policy import AllOrgs, EndorsementPolicy
+from repro.ledger.block import Block
+from repro.sim.distributions import Rng
+from repro.sim.engine import Environment
+from repro.sim.resources import Resource
+from repro.workloads.base import Workload
+
+#: A workload shared by all channels, or a factory keyed by channel index.
+WorkloadSpec = Union[Workload, Callable[[int], Workload]]
+
+
+@dataclass
+class NetworkTopology:
+    """Static facts about a built network (handy for tests and reports)."""
+
+    orgs: List[str]
+    peer_names: List[str]
+    channels: List[str]
+    clients_per_channel: int
+
+
+class FabricNetwork:
+    """A fully wired Fabric deployment running inside one DES environment."""
+
+    def __init__(
+        self,
+        config: FabricConfig,
+        workload: WorkloadSpec,
+        policy: Optional[EndorsementPolicy] = None,
+    ) -> None:
+        config.validate()
+        self.config = config
+        self.env = Environment()
+        self.registry = IdentityRegistry()
+        self.metrics = PipelineMetrics()
+
+        self.orgs = [f"Org{chr(ord('A') + i)}" for i in range(config.num_orgs)]
+        self.policy = policy or AllOrgs(*self.orgs)
+        unknown = self.policy.mentioned_orgs() - set(self.orgs)
+        if unknown:
+            raise ConfigError(f"policy references unknown orgs: {sorted(unknown)}")
+
+        # Peers (the paper uses four: two orgs with two peers each).
+        self.peers: List[Peer] = []
+        self.peers_by_org: Dict[str, List[Peer]] = {org: [] for org in self.orgs}
+        for org in self.orgs:
+            for index in range(config.peers_per_org):
+                identity = self.registry.register(f"peer{index}.{org}", org)
+                peer = Peer(self.env, identity, config, self.registry)
+                self.peers.append(peer)
+                self.peers_by_org[org].append(peer)
+        self.reference_peer = self.peers[0]
+        self.reference_peer.attach_reference_hooks(self._notify, self.metrics)
+
+        # One ordering-service machine and one client machine, shared by
+        # every channel (Section 6.1's single orderer / single client host).
+        self.orderer_cpu = Resource(self.env, config.cores_per_peer)
+        self.client_cpu = Resource(self.env, config.cores_per_peer)
+
+        self.orderers: Dict[str, OrderingService] = {}
+        self.clients: List[Client] = []
+        self.workloads: Dict[str, Workload] = {}
+        self._pending: Dict[str, Tuple[Client, float]] = {}
+
+        self.channels = [f"ch{i}" for i in range(config.num_channels)]
+        for channel_index, channel in enumerate(self.channels):
+            self._build_channel(channel_index, channel, workload)
+
+    # -- construction helpers -----------------------------------------------------
+
+    def _build_channel(
+        self, channel_index: int, channel: str, workload: WorkloadSpec
+    ) -> None:
+        instance = workload(channel_index) if callable(workload) else workload
+        self.workloads[channel] = instance
+
+        chaincodes = ChaincodeRegistry()
+        chaincodes.install(instance.create_chaincode())
+        initial_state = instance.initial_state()
+        for peer in self.peers:
+            peer.join_channel(channel, chaincodes, self.policy, initial_state)
+
+        orderer = OrderingService(
+            self.env,
+            channel,
+            self.config,
+            self.orderer_cpu,
+            broadcast=self._broadcast,
+            notify=self._notify,
+        )
+        self.orderers[channel] = orderer
+
+        for client_index in range(self.config.clients_per_channel):
+            identity = self.registry.register(
+                f"client{client_index}.{channel}", "ClientOrg"
+            )
+            rng = Rng(
+                hash((self.config.seed, channel_index, client_index)) & 0x7FFFFFFF
+            )
+            client = Client(
+                self.env,
+                identity,
+                channel,
+                self.config,
+                instance,
+                rng,
+                endorser_pools=self.peers_by_org,
+                policy=self.policy,
+                orderer=orderer,
+                machine_cpu=self.client_cpu,
+                metrics=self.metrics,
+                register_pending=self._register_pending,
+            )
+            self.clients.append(client)
+
+    # -- cross-component plumbing ---------------------------------------------------
+
+    def _broadcast(self, channel: str, block: Block) -> None:
+        """Distribute a freshly cut block to every peer of the network.
+
+        The ordering service guarantees all peers receive the same blocks
+        in the same order (Section 2.2.2). Distribution is two-stage, as
+        in the paper's Figure 13: the orderer ships the block to one
+        *leader* peer per organization directly (step 8); the remaining
+        org peers receive it via gossip one hop later (step 9). Per-peer
+        FIFO block queues preserve the same-order guarantee even though
+        arrival times differ.
+        """
+        size = sum(tx.estimated_size_bytes() for tx in block.transactions)
+        base_delay = self.config.costs.block_distribution_delay(size)
+        gossip_hop = self.config.costs.gossip_hop
+
+        def deliver(peer: Peer, delay: float):
+            yield self.env.timeout(delay)
+            peer.deliver_block(channel, block)
+
+        for org_peers in self.peers_by_org.values():
+            for position, peer in enumerate(org_peers):
+                delay = base_delay if position == 0 else base_delay + gossip_hop
+                self.env.process(
+                    deliver(peer, delay), name=f"deliver/{channel}/{peer.name}"
+                )
+
+    def _register_pending(self, tx_id: str, client: Client, submitted_at: float) -> None:
+        self._pending[tx_id] = (client, submitted_at)
+
+    def _notify(self, tx_id: str, outcome: TxOutcome) -> None:
+        """Resolve a transaction outcome back to its client."""
+        entry = self._pending.pop(tx_id, None)
+        if entry is None:
+            return  # already resolved (e.g. orderer aborted it earlier)
+        client, submitted_at = entry
+        client.resolve(None, outcome, submitted_at=submitted_at)
+
+    # -- running ---------------------------------------------------------------------
+
+    def topology(self) -> NetworkTopology:
+        """Describe the built network."""
+        return NetworkTopology(
+            orgs=list(self.orgs),
+            peer_names=[peer.name for peer in self.peers],
+            channels=list(self.channels),
+            clients_per_channel=self.config.clients_per_channel,
+        )
+
+    def run(self, duration: float, drain: float = 3.0) -> PipelineMetrics:
+        """Fire the workload for ``duration`` simulated seconds.
+
+        Clients stop firing at ``duration``; the simulation then keeps
+        running for up to ``drain`` extra simulated seconds so in-flight
+        transactions resolve (their outcomes are still counted, as the
+        paper's averages cover whole runs). Throughput figures divide by
+        ``duration``.
+        """
+        if duration <= 0:
+            raise ConfigError("duration must be > 0")
+        for client in self.clients:
+            client.start()
+
+        def stop_clients():
+            yield self.env.timeout(duration)
+            for client in self.clients:
+                client.stop()
+
+        self.env.process(stop_clients(), name="stop-clients")
+        self.env.run(until=duration + drain)
+        self.metrics.duration = duration
+        return self.metrics

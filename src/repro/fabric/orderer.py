@@ -1,0 +1,150 @@
+"""The ordering service.
+
+One trusted service per network establishes the global transaction order
+and cuts blocks (paper Section 2.2.2). The vanilla service treats
+transactions as black boxes and keeps arrival order; Fabric++'s service
+inspects read/write sets to (a) early-abort transactions whose reads are
+provably stale (within-block version mismatches, Section 5.2.2), (b) remove
+transactions stuck in conflict cycles, and (c) reorder the survivors into a
+serializable schedule (Section 5.1).
+
+All channels' ordering processes run on one orderer machine and share its
+CPU, as in the paper's setup (one server runs the ordering service).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, List, Optional
+
+from repro.core.batch_cutter import BatchCutter, CutReason
+from repro.core.early_abort import filter_stale_within_block
+from repro.core.reorder import reorder
+from repro.fabric.config import FabricConfig
+from repro.fabric.metrics import TxOutcome
+from repro.fabric.transaction import Transaction
+from repro.ledger.block import Block
+from repro.ledger.ledger import GENESIS_HASH
+from repro.sim.engine import Environment
+from repro.sim.resources import Resource, Store
+
+
+class OrderingService:
+    """The ordering pipeline of one channel."""
+
+    def __init__(
+        self,
+        env: Environment,
+        channel: str,
+        config: FabricConfig,
+        cpu: Resource,
+        broadcast: Callable[[str, Block], None],
+        notify: Callable[[str, TxOutcome], None],
+    ) -> None:
+        """``broadcast`` ships a cut block to all peers; ``notify`` resolves
+        early-aborted transactions back to their clients."""
+        self.env = env
+        self.channel = channel
+        self.config = config
+        self.cpu = cpu
+        self.incoming: Store = Store(env)
+        self._broadcast = broadcast
+        self._notify = notify
+        self._cutter = BatchCutter(
+            config.batch,
+            track_unique_keys=config.reordering,
+        )
+        self._next_block_id = 1
+        self._tip_hash = GENESIS_HASH
+        self._generation = 0
+        #: Counters exposed for tests and reports.
+        self.blocks_cut = 0
+        self.txs_received = 0
+        self.txs_early_aborted = 0
+        env.process(self._receiver(), name=f"orderer/{channel}")
+
+    # -- receiving ---------------------------------------------------------------
+
+    def submit(self, transaction: Transaction) -> None:
+        """Accept a transaction from a client."""
+        self.incoming.put(transaction)
+
+    def _receiver(self) -> Generator:
+        while True:
+            transaction = yield self.incoming.get()
+            self.txs_received += 1
+            yield from self.cpu.use(self.config.costs.order_tx)
+            was_empty = self._cutter.is_empty
+            reason = self._cutter.add(transaction, self.env.now)
+            if reason is not None:
+                yield from self._cut(reason)
+            elif was_empty:
+                # First transaction of a fresh batch: arm the batch timer.
+                self.env.process(
+                    self._batch_timer(self._generation, self._cutter.deadline()),
+                    name=f"orderer/{self.channel}/timer",
+                )
+
+    def _batch_timer(self, generation: int, deadline: Optional[float]) -> Generator:
+        if deadline is None:  # pragma: no cover - defensive
+            return
+        yield self.env.timeout(max(0.0, deadline - self.env.now))
+        # Only cut if no other criterion already cut this batch.
+        if generation == self._generation and not self._cutter.is_empty:
+            yield from self._cut(CutReason.TIMEOUT)
+
+    # -- cutting -----------------------------------------------------------------
+
+    def _cut(self, reason: CutReason) -> Generator:
+        batch = self._cutter.cut(reason)
+        self._generation += 1
+        if not batch:  # pragma: no cover - cut() callers guard non-empty
+            return
+        costs = self.config.costs
+        yield from self.cpu.use(costs.order_block)
+
+        early_aborted: List[Transaction] = []
+
+        if self.config.early_abort_ordering:
+            batch, version_aborts = self._apply_version_filter(batch)
+            early_aborted.extend(version_aborts)
+
+        if self.config.reordering and batch:
+            yield from self.cpu.use(costs.reorder_per_tx * len(batch))
+            rwsets = [tx.rwset for tx in batch]
+            result = reorder(rwsets, max_cycles=self.config.max_cycles_per_block)
+            for index in result.aborted:
+                tx = batch[index]
+                tx.failure_reason = TxOutcome.EARLY_ABORT_CYCLE.value
+                self._notify(tx.tx_id, TxOutcome.EARLY_ABORT_CYCLE)
+                early_aborted.append(tx)
+            batch = [batch[index] for index in result.schedule]
+
+        self.txs_early_aborted += len(early_aborted)
+
+        for tx in batch:
+            tx.ordered_at = self.env.now
+        block = Block.create(
+            self._next_block_id, self._tip_hash, batch, early_aborted=early_aborted
+        )
+        self._next_block_id += 1
+        self._tip_hash = block.header.data_hash
+        self.blocks_cut += 1
+        self._broadcast(self.channel, block)
+
+    def _apply_version_filter(self, batch: List[Transaction]):
+        """Within-block version-mismatch early abort (Section 5.2.2)."""
+        kept_indices, aborted_indices = filter_stale_within_block(
+            [tx.rwset for tx in batch]
+        )
+        aborted: List[Transaction] = []
+        for index in aborted_indices:
+            tx = batch[index]
+            tx.failure_reason = TxOutcome.EARLY_ABORT_VERSION.value
+            self._notify(tx.tx_id, TxOutcome.EARLY_ABORT_VERSION)
+            aborted.append(tx)
+        return [batch[index] for index in kept_indices], aborted
+
+    def flush(self) -> Generator:
+        """Cut whatever is pending (used by tests to drain the pipeline)."""
+        if not self._cutter.is_empty:
+            yield from self._cut(CutReason.FLUSH)

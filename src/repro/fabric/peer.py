@@ -1,0 +1,383 @@
+"""Peers: endorsement (simulation phase), validation, and commit.
+
+Each peer runs a local Fabric instance: per channel it keeps a ledger, a
+current-state database, and — in the vanilla configuration — the
+readers-writer lock that serialises chaincode simulation against block
+validation (paper Section 4.2.1). Fabric++ drops the lock and instead
+version-checks every read against the block height observed when the
+simulation started (Section 5.2.1), aborting provably stale simulations
+immediately.
+
+The peer's CPU is a shared :class:`~repro.sim.resources.Resource`;
+endorsement execution, signing, and block validation all consume it, which
+is what makes channels and clients compete for resources in the scaling
+experiments (Figure 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Generator, List, Optional, Tuple
+
+from repro.crypto.identity import Identity, IdentityRegistry
+from repro.crypto.signing import sign, verify
+from repro.errors import ConfigError
+from repro.fabric.chaincode import ChaincodeRegistry, ChaincodeStub
+from repro.fabric.config import FabricConfig
+from repro.fabric.metrics import PipelineMetrics, TxOutcome
+from repro.fabric.policy import EndorsementPolicy
+from repro.fabric.rwset import ReadWriteSet
+from repro.fabric.transaction import Endorsement, Proposal, Transaction, endorsement_payload
+from repro.ledger.block import Block
+from repro.ledger.ledger import Ledger
+from repro.ledger.state_db import StateDatabase, Version
+from repro.sim.engine import Environment, Process
+from repro.sim.resources import Resource, RWLock, Store
+
+#: CPU scheduling bands within a peer: validation preempts endorsement.
+VALIDATE_PRIORITY = 0
+ENDORSE_PRIORITY = 10
+
+
+@dataclass
+class EndorseReply:
+    """An endorser's answer to a proposal."""
+
+    endorsement: Optional[Endorsement]
+    #: Set when a Fabric++ simulation aborted on a stale read.
+    early_aborted: bool = False
+    #: The key that triggered the stale-read abort, if any.
+    stale_key: Optional[str] = None
+
+
+class PeerChannelState:
+    """A peer's per-channel stores and queues."""
+
+    def __init__(self, env: Environment, chaincodes: ChaincodeRegistry) -> None:
+        self.state = StateDatabase()
+        self.ledger = Ledger()
+        self.lock = RWLock(env)
+        self.incoming_blocks = Store(env)
+        self.chaincodes = chaincodes
+
+
+class Peer:
+    """One peer node hosting endorsement and validation for its channels."""
+
+    def __init__(
+        self,
+        env: Environment,
+        identity: Identity,
+        config: FabricConfig,
+        registry: IdentityRegistry,
+    ) -> None:
+        self.env = env
+        self.identity = identity
+        self.config = config
+        self.registry = registry
+        self.cpu = Resource(env, config.cores_per_peer)
+        self.channels: Dict[str, PeerChannelState] = {}
+        #: Straggler knob: all of this peer's simulated CPU durations are
+        #: multiplied by this factor (1.0 = nominal hardware). Lets tests
+        #: and experiments model a slow peer without touching the global
+        #: cost model.
+        self.speed_factor = 1.0
+        #: Test hook: transforms the simulated rwset before signing, to
+        #: model a byzantine endorser (Appendix A.3.1).
+        self.byzantine_rwset_hook: Optional[
+            Callable[[ReadWriteSet], ReadWriteSet]
+        ] = None
+        #: Set on exactly one peer per network: the peer whose commits
+        #: drive metrics and client notifications.
+        self.is_reference = False
+        self._notify: Optional[Callable[[str, TxOutcome], None]] = None
+        self._metrics: Optional[PipelineMetrics] = None
+        self._policies: Dict[str, EndorsementPolicy] = {}
+
+    @property
+    def name(self) -> str:
+        """The peer's identity name (e.g. ``peer0.orgA``)."""
+        return self.identity.name
+
+    @property
+    def org(self) -> str:
+        """The organization hosting this peer."""
+        return self.identity.org
+
+    # -- channel management ----------------------------------------------------
+
+    def join_channel(
+        self,
+        channel: str,
+        chaincodes: ChaincodeRegistry,
+        policy: EndorsementPolicy,
+        initial_state: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Join ``channel``, installing chaincodes and seeding state."""
+        if channel in self.channels:
+            raise ConfigError(f"{self.name} already joined channel {channel!r}")
+        state = PeerChannelState(self.env, chaincodes)
+        if initial_state:
+            state.state.populate(initial_state)
+        self.channels[channel] = state
+        self._policies[channel] = policy
+        self.env.process(self._validator(channel), name=f"{self.name}/{channel}/validator")
+
+    def attach_reference_hooks(
+        self,
+        notify: Callable[[str, TxOutcome], None],
+        metrics: PipelineMetrics,
+    ) -> None:
+        """Make this peer the network's reference peer for accounting."""
+        self.is_reference = True
+        self._notify = notify
+        self._metrics = metrics
+
+    # -- simulation phase (endorsement) ----------------------------------------
+
+    def endorse(self, channel: str, proposal: Proposal) -> Process:
+        """Simulate ``proposal``; returns a process firing an EndorseReply."""
+        return self.env.process(
+            self._endorse_process(channel, proposal),
+            name=f"{self.name}/endorse/{proposal.proposal_id}",
+        )
+
+    def _endorse_process(self, channel: str, proposal: Proposal) -> Generator:
+        pcs = self.channels[channel]
+        costs = self.config.costs
+
+        chaincode = pcs.chaincodes.lookup(proposal.chaincode)
+        op_count = chaincode.operation_count(proposal.function, proposal.args)
+        execution_time = max(1, op_count) * costs.chaincode_op * self.speed_factor
+
+        vanilla = not self.config.early_abort_simulation
+        if vanilla:
+            # Vanilla: the whole simulation holds the shared read lock.
+            # While a block validates (exclusive write lock), simulations
+            # queue here — the coupling Section 4.2.1 describes. Acquired
+            # before the CPU so lock waiters never pin a core (and cannot
+            # deadlock against the validator's CPU demand).
+            yield pcs.lock.acquire_read()
+        holds_read_lock = vanilla
+        try:
+            # Endorsement runs in the peer's low-priority worker band so a
+            # proposal flood cannot starve block validation.
+            yield self.cpu.request(priority=ENDORSE_PRIORITY)
+            try:
+                # The chaincode's reads observe the state at the start of
+                # its execution; the rwset is fixed from this instant on.
+                stub = ChaincodeStub(pcs.state, start_block_id=None)
+                chaincode.invoke(stub, proposal.function, proposal.args)
+                yield self.env.timeout(execution_time)
+                if vanilla:
+                    # Under the read lock no block could commit meanwhile,
+                    # so the rwset is consistent at release time.
+                    pcs.lock.release_read()
+                    holds_read_lock = False
+                else:
+                    # Fabric++: lock-free simulation ran concurrently with
+                    # validation; re-check every read against the live
+                    # store (the version-number comparison of Figure 6)
+                    # and abort as soon as staleness is proven — the
+                    # signing cost and the whole downstream pipeline are
+                    # saved, and the client learns immediately.
+                    for key, version in stub.rwset.reads.items():
+                        if pcs.state.get_version(key) != version:
+                            return EndorseReply(
+                                None, early_aborted=True, stale_key=key
+                            )
+                rwset = stub.rwset
+                if self.byzantine_rwset_hook is not None:
+                    rwset = self.byzantine_rwset_hook(rwset)
+                yield self.env.timeout(costs.endorse_sign * self.speed_factor)
+            finally:
+                self.cpu.release()
+        finally:
+            if holds_read_lock:
+                pcs.lock.release_read()
+
+        signature = sign(self.identity, endorsement_payload(proposal, rwset))
+        endorsement = Endorsement(self.name, self.org, rwset, signature)
+        return EndorseReply(endorsement)
+
+    # -- validation + commit phase ----------------------------------------------
+
+    def _validator(self, channel: str) -> Generator:
+        """Sequential per-channel validation pipeline (one block at a time)."""
+        pcs = self.channels[channel]
+        costs = self.config.costs
+        vanilla = not self.config.early_abort_simulation
+        # Delivery may arrive out of order (gossip races); validation must
+        # follow block-id order, so early arrivals wait in a reorder buffer.
+        pending_blocks: Dict[int, Block] = {}
+        next_block_id = 1
+        while True:
+            while next_block_id not in pending_blocks:
+                block = yield pcs.incoming_blocks.get()
+                if block.block_id < next_block_id:
+                    continue  # duplicate delivery of an applied block
+                pending_blocks[block.block_id] = block
+            block = pending_blocks.pop(next_block_id)
+            next_block_id += 1
+            if vanilla:
+                # Vanilla serialises validation against simulation: the
+                # whole block validation runs under the exclusive write
+                # lock, so every in-flight simulation on this peer stalls
+                # until the block committed (Section 4.2.1). Fabric++'s
+                # fine-grained concurrency control removes this lock and
+                # lets both phases overlap (Section 5.2.1).
+                yield pcs.lock.acquire_write()
+            try:
+                yield from self.cpu.use(costs.block_overhead * self.speed_factor)
+
+                pending_writes: Dict[str, Version] = {}
+                valid_writes: List[Tuple[int, Dict[str, object]]] = []
+                for index, tx in enumerate(block.transactions):
+                    yield from self.cpu.use(
+                        costs.tx_validation_cost(len(tx.endorsements))
+                        * self.speed_factor
+                    )
+                    outcome = self._validate_transaction(
+                        channel, tx, pending_writes
+                    )
+                    valid = outcome is TxOutcome.COMMITTED
+                    block.mark(tx.tx_id, valid)
+                    if valid:
+                        version = Version(block.block_id, index)
+                        if vanilla:
+                            for key in tx.rwset.writes:
+                                pending_writes[key] = version
+                            valid_writes.append((index, tx.rwset.writes))
+                        else:
+                            # Fabric++'s fine-grained concurrency control:
+                            # each valid transaction's writes apply
+                            # atomically right away, visible to chaincodes
+                            # simulating in parallel (Section 5.2.1's
+                            # "apply their updates in an atomic fashion
+                            # while T5 is simulating").
+                            for key, value in tx.rwset.writes.items():
+                                pcs.state.apply_write(key, value, version)
+                    else:
+                        tx.failure_reason = outcome.value
+                    if self.is_reference:
+                        self._report(tx, outcome)
+
+                # Commit: vanilla applies all valid writes at once under
+                # the write lock; Fabric++ already applied them inline and
+                # only finalises the block height.
+                if vanilla:
+                    pcs.state.apply_block_writes(block.block_id, valid_writes)
+                else:
+                    pcs.state.advance_block(block.block_id)
+                pcs.ledger.append(block)
+            finally:
+                if vanilla:
+                    pcs.lock.release_write()
+
+            if self.is_reference and self._metrics is not None:
+                self._metrics.record_block(len(block.transactions))
+
+    def _validate_transaction(
+        self,
+        channel: str,
+        tx: Transaction,
+        pending_writes: Dict[str, Version],
+    ) -> TxOutcome:
+        """Run the two validation checks of Section 2.2.3."""
+        if not self._endorsements_valid(channel, tx):
+            return TxOutcome.ABORT_POLICY
+        if not self._reads_current(channel, tx, pending_writes):
+            return TxOutcome.ABORT_MVCC
+        return TxOutcome.COMMITTED
+
+    def _endorsements_valid(self, channel: str, tx: Transaction) -> bool:
+        """Endorsement-policy evaluation (paper Appendix A.3.1)."""
+        policy = self._policies[channel]
+        if not policy.satisfied_by(tx.endorsing_orgs):
+            return False
+        payload = endorsement_payload(tx.proposal, tx.rwset)
+        for endorsement in tx.endorsements:
+            # The signature must cover the rwset that travels with the
+            # transaction; a client that swapped in another write set
+            # fails here because the honest signature no longer matches.
+            if endorsement.rwset != tx.rwset:
+                return False
+            if not verify(self.registry, endorsement.signature, payload):
+                return False
+            signer = self.registry.lookup(endorsement.signature.signer)
+            if signer.org != endorsement.org:
+                return False
+        return True
+
+    def _reads_current(
+        self,
+        channel: str,
+        tx: Transaction,
+        pending_writes: Dict[str, Version],
+    ) -> bool:
+        """Serializability conflict check (paper Appendix A.3.2).
+
+        Every read version must match the current state, where "current"
+        includes the writes of earlier valid transactions in the same
+        block — exactly the semantics behind Table 1.
+        """
+        state = self.channels[channel].state
+        for key, read_version in tx.rwset.reads.items():
+            current = pending_writes.get(key)
+            if current is None:
+                current = state.get_version(key)
+            if current != read_version:
+                return False
+        for range_read in tx.rwset.range_reads:
+            if not self._range_read_current(state, pending_writes, range_read):
+                return False
+        return True
+
+    @staticmethod
+    def _range_read_current(
+        state: StateDatabase,
+        pending_writes: Dict[str, Version],
+        range_read,
+    ) -> bool:
+        """Phantom check: re-execute the scan against the effective state.
+
+        The effective state overlays the committed store with the writes
+        of earlier valid transactions in the same block, exactly like the
+        point-read check. Any difference — an inserted key (phantom), a
+        deleted key, or a changed version — invalidates the scan.
+        """
+        effective: Dict[str, Version] = {
+            key: entry.version
+            for key, entry in state.range_scan(
+                range_read.start_key, range_read.end_key
+            )
+        }
+        for key, version in pending_writes.items():
+            if key < range_read.start_key:
+                continue
+            if range_read.end_key is not None and key >= range_read.end_key:
+                continue
+            effective[key] = version
+        return effective == dict(range_read.results)
+
+    def _report(self, tx: Transaction, outcome: TxOutcome) -> None:
+        """Reference-peer accounting: notify the client of the outcome."""
+        tx.committed_at = self.env.now
+        if (
+            outcome.is_success
+            and self._metrics is not None
+            and tx.ordered_at is not None
+        ):
+            self._metrics.record_phases(
+                endorse=tx.assembled_at - tx.proposal.submitted_at,
+                order=tx.ordered_at - tx.assembled_at,
+                validate=tx.committed_at - tx.ordered_at,
+            )
+        if self._notify is not None:
+            self._notify(tx.tx_id, outcome)
+
+    # -- delivery ----------------------------------------------------------------
+
+    def deliver_block(self, channel: str, block: Block) -> None:
+        """Enqueue a block received from the ordering service."""
+        self.channels[channel].incoming_blocks.put(block)

@@ -1,0 +1,153 @@
+"""Endorsement policies.
+
+An endorsement policy states which organizations must simulate and sign a
+proposal before it may commit (paper Section 2.2.1). Policies are boolean
+combinators over organizations, mirroring Fabric's ``AND``/``OR``/
+``OutOf`` policy language. The canonical policy of the paper's running
+example is ``AND(OrgA, OrgB)`` — "one peer of each involved organization".
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Sequence, Set
+
+from repro.errors import PolicyError
+
+
+class EndorsementPolicy:
+    """Base class: a predicate over the set of endorsing organizations."""
+
+    def satisfied_by(self, orgs: FrozenSet[str]) -> bool:
+        """True if endorsements from ``orgs`` satisfy this policy."""
+        raise NotImplementedError
+
+    def required_orgs(self) -> Set[str]:
+        """A minimal set of orgs a client should collect endorsements from.
+
+        Clients use this to pick endorsers; validators use
+        :meth:`satisfied_by` on whatever arrived.
+        """
+        raise NotImplementedError
+
+    def mentioned_orgs(self) -> Set[str]:
+        """Every org referenced anywhere in the policy tree."""
+        raise NotImplementedError
+
+
+class RequireOrg(EndorsementPolicy):
+    """Satisfied iff the named org endorsed."""
+
+    def __init__(self, org: str) -> None:
+        self.org = org
+
+    def satisfied_by(self, orgs: FrozenSet[str]) -> bool:
+        return self.org in orgs
+
+    def required_orgs(self) -> Set[str]:
+        return {self.org}
+
+    def mentioned_orgs(self) -> Set[str]:
+        return {self.org}
+
+    def __repr__(self) -> str:
+        return f"Org({self.org})"
+
+
+class AllOrgs(EndorsementPolicy):
+    """AND combinator: every sub-policy must be satisfied."""
+
+    def __init__(self, *subpolicies: EndorsementPolicy) -> None:
+        if not subpolicies:
+            raise PolicyError("AllOrgs requires at least one sub-policy")
+        self.subpolicies = _coerce(subpolicies)
+
+    def satisfied_by(self, orgs: FrozenSet[str]) -> bool:
+        return all(sub.satisfied_by(orgs) for sub in self.subpolicies)
+
+    def required_orgs(self) -> Set[str]:
+        required: Set[str] = set()
+        for sub in self.subpolicies:
+            required |= sub.required_orgs()
+        return required
+
+    def mentioned_orgs(self) -> Set[str]:
+        mentioned: Set[str] = set()
+        for sub in self.subpolicies:
+            mentioned |= sub.mentioned_orgs()
+        return mentioned
+
+    def __repr__(self) -> str:
+        return "AND(" + ", ".join(map(repr, self.subpolicies)) + ")"
+
+
+class AnyOrg(EndorsementPolicy):
+    """OR combinator: at least one sub-policy must be satisfied."""
+
+    def __init__(self, *subpolicies: EndorsementPolicy) -> None:
+        if not subpolicies:
+            raise PolicyError("AnyOrg requires at least one sub-policy")
+        self.subpolicies = _coerce(subpolicies)
+
+    def satisfied_by(self, orgs: FrozenSet[str]) -> bool:
+        return any(sub.satisfied_by(orgs) for sub in self.subpolicies)
+
+    def required_orgs(self) -> Set[str]:
+        # The cheapest choice: the sub-policy with the fewest requirements.
+        return min((sub.required_orgs() for sub in self.subpolicies), key=len)
+
+    def mentioned_orgs(self) -> Set[str]:
+        mentioned: Set[str] = set()
+        for sub in self.subpolicies:
+            mentioned |= sub.mentioned_orgs()
+        return mentioned
+
+    def __repr__(self) -> str:
+        return "OR(" + ", ".join(map(repr, self.subpolicies)) + ")"
+
+
+class OutOf(EndorsementPolicy):
+    """N-of-M combinator: at least ``count`` sub-policies satisfied."""
+
+    def __init__(self, count: int, subpolicies: Sequence[EndorsementPolicy]) -> None:
+        subs = _coerce(subpolicies)
+        if not 1 <= count <= len(subs):
+            raise PolicyError(
+                f"OutOf count {count} out of range for {len(subs)} sub-policies"
+            )
+        self.count = count
+        self.subpolicies = subs
+
+    def satisfied_by(self, orgs: FrozenSet[str]) -> bool:
+        satisfied = sum(1 for sub in self.subpolicies if sub.satisfied_by(orgs))
+        return satisfied >= self.count
+
+    def required_orgs(self) -> Set[str]:
+        cheapest = sorted(
+            (sub.required_orgs() for sub in self.subpolicies), key=len
+        )
+        required: Set[str] = set()
+        for orgs in cheapest[: self.count]:
+            required |= orgs
+        return required
+
+    def mentioned_orgs(self) -> Set[str]:
+        mentioned: Set[str] = set()
+        for sub in self.subpolicies:
+            mentioned |= sub.mentioned_orgs()
+        return mentioned
+
+    def __repr__(self) -> str:
+        return f"OutOf({self.count}, [" + ", ".join(map(repr, self.subpolicies)) + "])"
+
+
+def _coerce(subpolicies: Sequence) -> List[EndorsementPolicy]:
+    """Allow bare org-name strings as shorthand for RequireOrg."""
+    coerced: List[EndorsementPolicy] = []
+    for sub in subpolicies:
+        if isinstance(sub, str):
+            coerced.append(RequireOrg(sub))
+        elif isinstance(sub, EndorsementPolicy):
+            coerced.append(sub)
+        else:
+            raise PolicyError(f"not a policy: {sub!r}")
+    return coerced

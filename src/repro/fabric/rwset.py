@@ -1,0 +1,170 @@
+"""Read and write sets captured during chaincode simulation.
+
+During the simulation phase each endorser builds a read set — the keys read
+together with the versions they were read at — and a write set — the keys
+written with their new values (paper Section 2.2.1). These sets travel with
+the transaction, are signed by the endorsers, and drive both the
+serializability check in the validation phase and Fabric++'s reordering.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.ledger.state_db import Version
+
+
+@dataclass(frozen=True)
+class RangeRead:
+    """A recorded range scan: bounds plus the exact (key, version) result.
+
+    Fabric records range queries in the read set with their full result so
+    the validation phase can detect *phantoms*: if re-executing the range
+    against the current state yields a different key set (an insert or
+    delete slipped in) or different versions (an update), the transaction
+    is invalid. ``end_key`` is exclusive; ``None`` means an open end.
+    """
+
+    start_key: str
+    end_key: Optional[str]
+    results: Tuple[Tuple[str, Version], ...]
+
+    def result_keys(self) -> Tuple[str, ...]:
+        """The keys the scan observed, in order."""
+        return tuple(key for key, _version in self.results)
+
+
+@dataclass
+class ReadWriteSet:
+    """A transaction's reads (key -> version) and writes (key -> value).
+
+    A read of an absent key records version ``None``; the validation phase
+    then requires the key to still be absent. Within one simulation only
+    the *first* read of a key is recorded (later reads return the same
+    state), and only the *last* write of a key survives, matching Fabric.
+    """
+
+    reads: Dict[str, Optional[Version]] = field(default_factory=dict)
+    writes: Dict[str, object] = field(default_factory=dict)
+    #: Range scans with their observed results (phantom detection).
+    range_reads: List[RangeRead] = field(default_factory=list)
+    #: Memoised canonical encoding; invalidated on mutation.
+    _canonical: Optional[bytes] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def record_read(self, key: str, version: Optional[Version]) -> None:
+        """Record that ``key`` was read at ``version`` (first read wins)."""
+        if key not in self.reads:
+            self.reads[key] = version
+            self._canonical = None
+
+    def record_write(self, key: str, value: object) -> None:
+        """Record that ``key`` was written with ``value`` (last write wins)."""
+        self.writes[key] = value
+        self._canonical = None
+
+    def record_range_read(self, range_read: RangeRead) -> None:
+        """Record a range scan together with its observed result."""
+        self.range_reads.append(range_read)
+        self._canonical = None
+
+    @property
+    def read_keys(self) -> FrozenSet[str]:
+        """All keys this transaction read, point reads and range results.
+
+        Range-scan results participate so the conflict graph sees
+        write->range-read dependencies (inserts creating *new* phantoms
+        remain invisible to key-based analysis; validation still catches
+        them, the orderer just cannot reorder around them).
+        """
+        keys = set(self.reads)
+        for range_read in self.range_reads:
+            keys.update(range_read.result_keys())
+        return frozenset(keys)
+
+    @property
+    def write_keys(self) -> FrozenSet[str]:
+        """The set of keys this transaction writes."""
+        return frozenset(self.writes)
+
+    @property
+    def unique_keys(self) -> FrozenSet[str]:
+        """All keys touched, read or written.
+
+        Fabric++'s extra batch-cutting criterion (paper Section 5.1.2)
+        bounds the number of unique keys per block using this set.
+        """
+        return self.read_keys | self.write_keys
+
+    def is_empty(self) -> bool:
+        """True for blank transactions that touched no state."""
+        return not self.reads and not self.writes and not self.range_reads
+
+    def conflicts_into(self, other: "ReadWriteSet") -> bool:
+        """True if self writes a key that ``other`` reads (Ti -> Tj).
+
+        This is the paper's conflict definition (Section 5.1): an edge
+        Ti -> Tj exists when Ti's writes intersect Tj's reads, and then a
+        serializable schedule must order Tj before Ti.
+        """
+        writes = self.writes
+        if any(key in writes for key in other.reads):
+            return True
+        return any(
+            key in writes
+            for range_read in other.range_reads
+            for key in range_read.result_keys()
+        )
+
+    def canonical_bytes(self) -> bytes:
+        """Deterministic byte encoding, the payload endorsers sign.
+
+        Keys are sorted so that two honest endorsers producing the same
+        logical rwset also produce identical bytes (and signatures over
+        differing states differ). The encoding is memoised; mutations via
+        ``record_read``/``record_write`` invalidate the cache.
+        """
+        if self._canonical is not None:
+            return self._canonical
+        hasher = hashlib.sha256()
+        for key in sorted(self.reads):
+            version = self.reads[key]
+            hasher.update(b"R")
+            hasher.update(key.encode())
+            if version is None:
+                hasher.update(b"\x00absent")
+            else:
+                hasher.update(version.block_id.to_bytes(8, "big"))
+                hasher.update(version.tx_id.to_bytes(8, "big"))
+        for range_read in self.range_reads:
+            hasher.update(b"Q")
+            hasher.update(range_read.start_key.encode())
+            hasher.update((range_read.end_key or "\x00<open>").encode())
+            for key, version in range_read.results:
+                hasher.update(key.encode())
+                hasher.update(version.block_id.to_bytes(8, "big"))
+                hasher.update(version.tx_id.to_bytes(8, "big"))
+        for key in sorted(self.writes):
+            hasher.update(b"W")
+            hasher.update(key.encode())
+            hasher.update(repr(self.writes[key]).encode())
+        self._canonical = hasher.digest()
+        return self._canonical
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ReadWriteSet):
+            return NotImplemented
+        return (
+            self.reads == other.reads
+            and self.writes == other.writes
+            and self.range_reads == other.range_reads
+        )
+
+    def copy(self) -> "ReadWriteSet":
+        """Return an independent copy."""
+        return ReadWriteSet(
+            dict(self.reads), dict(self.writes), list(self.range_reads)
+        )

@@ -1,0 +1,113 @@
+"""Proposals, endorsements, and transactions.
+
+The lifecycle (paper Section 2.2 and Appendix A):
+
+1. A client submits a :class:`Proposal` — chaincode name plus arguments —
+   to the endorsers named by the endorsement policy.
+2. Each endorser simulates the chaincode and returns an
+   :class:`Endorsement`: the read/write set it computed plus a signature
+   over it.
+3. If all endorsers returned equal read/write sets, the client assembles a
+   :class:`Transaction` carrying the rwset and every signature, and submits
+   it to the ordering service.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.crypto.signing import Signature
+from repro.fabric.rwset import ReadWriteSet
+
+
+@dataclass(frozen=True)
+class Proposal:
+    """A client's request to execute a chaincode function."""
+
+    proposal_id: str
+    client: str
+    channel: str
+    chaincode: str
+    function: str
+    args: Tuple
+    submitted_at: float = 0.0
+
+    def payload_bytes(self) -> bytes:
+        """Canonical bytes of the invocation request (part of signatures)."""
+        payload = f"{self.channel}|{self.chaincode}|{self.function}|{self.args!r}"
+        return payload.encode()
+
+
+@dataclass(frozen=True)
+class Endorsement:
+    """One endorser's simulation result: rwset + signature over it."""
+
+    endorser: str
+    org: str
+    rwset: ReadWriteSet
+    signature: Signature
+
+    def signed_payload(self, proposal: Proposal) -> bytes:
+        """The bytes this endorsement's signature covers."""
+        return endorsement_payload(proposal, self.rwset)
+
+
+def endorsement_payload(proposal: Proposal, rwset: ReadWriteSet) -> bytes:
+    """Canonical signing payload: invocation + rwset (paper A.3.1).
+
+    The signature covers the read and write set, the executed smart
+    contract, and the endorsement policy context (carried here via the
+    proposal's channel/chaincode identity), so a client cannot swap in a
+    different endorser's write set without detection.
+    """
+    return proposal.payload_bytes() + b"#" + rwset.canonical_bytes()
+
+
+@dataclass
+class Transaction:
+    """An endorsed transaction travelling through ordering and validation."""
+
+    tx_id: str
+    proposal: Proposal
+    rwset: ReadWriteSet
+    endorsements: List[Endorsement]
+    #: Simulated time at which the client assembled this transaction.
+    assembled_at: float = 0.0
+    #: Simulated time at which the ordering service cut it into a block.
+    ordered_at: Optional[float] = None
+    #: Filled by the pipeline for latency accounting.
+    committed_at: Optional[float] = None
+    #: Why the transaction failed, if it did (validation code or early abort).
+    failure_reason: Optional[str] = None
+
+    def digest(self) -> bytes:
+        """Canonical bytes identifying this transaction in block hashes."""
+        hasher = hashlib.sha256()
+        hasher.update(self.tx_id.encode())
+        hasher.update(self.rwset.canonical_bytes())
+        for endorsement in self.endorsements:
+            hasher.update(endorsement.signature.signer.encode())
+            hasher.update(endorsement.signature.value)
+        return hasher.digest()
+
+    @property
+    def endorsing_orgs(self) -> frozenset:
+        """Orgs that endorsed this transaction."""
+        return frozenset(e.org for e in self.endorsements)
+
+    def estimated_size_bytes(self) -> int:
+        """Rough wire size, used by the byte-based batch-cut criterion.
+
+        Modelled as a fixed envelope (headers, signatures, certificates)
+        plus a per-rwset-entry cost; real Fabric transactions are a few
+        kilobytes.
+        """
+        envelope = 2048
+        per_entry = 64
+        entries = len(self.rwset.reads) + len(self.rwset.writes)
+        return envelope + per_entry * entries + 512 * len(self.endorsements)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Tx({self.tx_id})"

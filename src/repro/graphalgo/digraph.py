@@ -1,0 +1,113 @@
+"""A minimal directed-graph container.
+
+Nodes may be any hashable object. The graph stores forward (successor) and
+backward (predecessor) adjacency so the scheduling step of the reordering
+algorithm can walk both "parents" and "children" of a node, exactly as
+Algorithm 1 of the paper does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Set
+
+
+class DiGraph:
+    """A simple directed graph with O(1) edge insertion and membership tests.
+
+    >>> g = DiGraph()
+    >>> g.add_edge(1, 2)
+    >>> g.add_edge(2, 3)
+    >>> sorted(g.successors(1))
+    [2]
+    >>> sorted(g.predecessors(3))
+    [2]
+    """
+
+    def __init__(self, nodes: Iterable[Hashable] = ()) -> None:
+        self._succ: Dict[Hashable, Set[Hashable]] = {}
+        self._pred: Dict[Hashable, Set[Hashable]] = {}
+        for node in nodes:
+            self.add_node(node)
+
+    # -- construction -----------------------------------------------------
+
+    def add_node(self, node: Hashable) -> None:
+        """Add ``node`` to the graph; a no-op if already present."""
+        if node not in self._succ:
+            self._succ[node] = set()
+            self._pred[node] = set()
+
+    def add_edge(self, source: Hashable, target: Hashable) -> None:
+        """Add the directed edge ``source -> target``, creating the nodes."""
+        self.add_node(source)
+        self.add_node(target)
+        self._succ[source].add(target)
+        self._pred[target].add(source)
+
+    def remove_node(self, node: Hashable) -> None:
+        """Remove ``node`` and all incident edges."""
+        for target in self._succ.pop(node):
+            self._pred[target].discard(node)
+        for source in self._pred.pop(node):
+            self._succ[source].discard(node)
+
+    def subgraph(self, nodes: Iterable[Hashable]) -> "DiGraph":
+        """Return the induced subgraph on ``nodes`` as a new graph."""
+        keep = set(nodes)
+        sub = DiGraph(keep)
+        for node in keep:
+            for target in self._succ[node]:
+                if target in keep:
+                    sub.add_edge(node, target)
+        return sub
+
+    # -- queries -----------------------------------------------------------
+
+    def __contains__(self, node: Hashable) -> bool:
+        return node in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._succ)
+
+    def nodes(self) -> List[Hashable]:
+        """Return the nodes in insertion order."""
+        return list(self._succ)
+
+    def edges(self) -> List[tuple]:
+        """Return all edges as (source, target) pairs."""
+        return [(u, v) for u in self._succ for v in self._succ[u]]
+
+    def num_edges(self) -> int:
+        """Return the total number of directed edges."""
+        return sum(len(targets) for targets in self._succ.values())
+
+    def has_edge(self, source: Hashable, target: Hashable) -> bool:
+        """Return True if the edge ``source -> target`` exists."""
+        return source in self._succ and target in self._succ[source]
+
+    def successors(self, node: Hashable) -> Set[Hashable]:
+        """Return the set of nodes reachable from ``node`` via one edge."""
+        return self._succ[node]
+
+    def predecessors(self, node: Hashable) -> Set[Hashable]:
+        """Return the set of nodes with an edge into ``node``."""
+        return self._pred[node]
+
+    def out_degree(self, node: Hashable) -> int:
+        """Return the number of outgoing edges of ``node``."""
+        return len(self._succ[node])
+
+    def in_degree(self, node: Hashable) -> int:
+        """Return the number of incoming edges of ``node``."""
+        return len(self._pred[node])
+
+    def copy(self) -> "DiGraph":
+        """Return an independent copy of this graph."""
+        clone = DiGraph(self._succ)
+        for source, targets in self._succ.items():
+            for target in targets:
+                clone.add_edge(source, target)
+        return clone

@@ -1,0 +1,122 @@
+"""Johnson's algorithm for enumerating elementary cycles.
+
+Used by Algorithm 1, step 2 of the paper to list all cycles inside each
+strongly connected subgraph of the conflict graph. Complexity is
+O((N + E) * (C + 1)) for C cycles, so a cycle-free subgraph costs almost
+nothing — the property the paper relies on for low ordering overhead.
+
+The implementation is the iterative form of Johnson's 1975 algorithm,
+restricted to a single strongly connected subgraph at a time (the caller —
+``repro.core.reorder`` — already splits the graph with Tarjan's algorithm).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, List, Optional, Set
+
+from repro.graphalgo.digraph import DiGraph
+from repro.graphalgo.tarjan import strongly_connected_components
+
+
+def simple_cycles(
+    graph: DiGraph, max_cycles: Optional[int] = None
+) -> Iterator[List[Hashable]]:
+    """Yield every elementary cycle of ``graph`` as a list of nodes.
+
+    Each cycle is reported once, starting from its smallest node in the
+    graph's deterministic node ordering. Self-loops are reported as
+    single-node cycles.
+
+    ``max_cycles`` optionally caps the enumeration; Fabric++ uses this as a
+    safety valve so a pathological block cannot stall the orderer (the
+    paper bounds the problem instead via batch cutting on unique keys —
+    both mechanisms are available here).
+    """
+    emitted = 0
+    order: Dict[Hashable, int] = {node: i for i, node in enumerate(graph.nodes())}
+
+    # Work on a shrinking copy: after all cycles through the current root
+    # are found, the root is removed.
+    remaining = graph.copy()
+
+    # Self-loops are elementary cycles that the main loop would miss.
+    for node in graph.nodes():
+        if graph.has_edge(node, node):
+            yield [node]
+            emitted += 1
+            if max_cycles is not None and emitted >= max_cycles:
+                return
+
+    while len(remaining) > 0:
+        # Find the SCC containing the smallest remaining node.
+        components = [
+            c for c in strongly_connected_components(remaining) if len(c) > 1
+        ]
+        if not components:
+            break
+        component = min(components, key=lambda c: min(order[n] for n in c))
+        subgraph = remaining.subgraph(component)
+        root = min(component, key=lambda n: order[n])
+
+        for cycle in _cycles_through_root(subgraph, root):
+            yield cycle
+            emitted += 1
+            if max_cycles is not None and emitted >= max_cycles:
+                return
+        remaining.remove_node(root)
+
+
+def _cycles_through_root(
+    subgraph: DiGraph, root: Hashable
+) -> Iterator[List[Hashable]]:
+    """Yield all elementary cycles through ``root`` inside one SCC."""
+    blocked: Set[Hashable] = set()
+    blocked_from: Dict[Hashable, Set[Hashable]] = {n: set() for n in subgraph}
+    path: List[Hashable] = [root]
+    blocked.add(root)
+    # Self-loop edges are excluded: single-node cycles are reported by the
+    # caller, and a self-loop can never be part of a longer elementary cycle.
+    stack: List[tuple] = [(root, _targets(subgraph, root))]
+    closed: Set[Hashable] = set()
+
+    while stack:
+        node, successors = stack[-1]
+        if successors:
+            target = successors.pop()
+            if target == root:
+                yield list(path)
+                closed.update(path)
+            elif target not in blocked:
+                path.append(target)
+                closed.discard(target)
+                blocked.add(target)
+                stack.append((target, _targets(subgraph, target)))
+            continue
+        # All successors of `node` explored: backtrack.
+        if node in closed:
+            _unblock(node, blocked, blocked_from)
+        else:
+            for target in subgraph.successors(node):
+                blocked_from[target].add(node)
+        stack.pop()
+        path.pop()
+        if stack and path and path[-1] != stack[-1][0]:  # pragma: no cover
+            raise AssertionError("path/stack desynchronised")
+
+
+def _targets(subgraph: DiGraph, node: Hashable) -> List[Hashable]:
+    """Successors of ``node`` excluding any self-loop edge."""
+    return [t for t in subgraph.successors(node) if t != node]
+
+
+def _unblock(
+    node: Hashable, blocked: Set[Hashable], blocked_from: Dict[Hashable, Set[Hashable]]
+) -> None:
+    """Johnson's UNBLOCK: recursively release nodes blocked behind ``node``."""
+    pending = [node]
+    while pending:
+        current = pending.pop()
+        if current in blocked:
+            blocked.discard(current)
+            pending.extend(blocked_from[current])
+            blocked_from[current].clear()

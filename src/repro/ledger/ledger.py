@@ -1,0 +1,94 @@
+"""The append-only, hash-chained ledger kept by every peer.
+
+The ledger contains the ordered sequence of *all* transactions that went
+through the system — valid and invalid (paper Section 2.1). Appending
+verifies the hash chain, so a tampered or out-of-order block is rejected.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.errors import LedgerError
+from repro.ledger.block import Block, compute_block_hash
+
+#: Hash value that the first real block chains to.
+GENESIS_HASH = b"\x00" * 32
+
+
+class Ledger:
+    """An append-only chain of validated blocks."""
+
+    def __init__(self) -> None:
+        self._blocks: List[Block] = []
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self._blocks)
+
+    @property
+    def height(self) -> int:
+        """Number of blocks in the chain."""
+        return len(self._blocks)
+
+    @property
+    def tip_hash(self) -> bytes:
+        """Hash that the next block must chain to."""
+        if not self._blocks:
+            return GENESIS_HASH
+        return self._blocks[-1].header.data_hash
+
+    @property
+    def tip_block_id(self) -> int:
+        """Id of the last appended block (0 when empty)."""
+        if not self._blocks:
+            return 0
+        return self._blocks[-1].block_id
+
+    def append(self, block: Block) -> None:
+        """Append ``block``, verifying id sequence and hash chain."""
+        expected_id = self.tip_block_id + 1
+        if block.block_id != expected_id:
+            raise LedgerError(
+                f"expected block {expected_id}, got {block.block_id}"
+            )
+        if block.header.previous_hash != self.tip_hash:
+            raise LedgerError(f"block {block.block_id} breaks the hash chain")
+        recomputed = compute_block_hash(
+            block.block_id, block.header.previous_hash, block.transactions
+        )
+        if recomputed != block.header.data_hash:
+            raise LedgerError(f"block {block.block_id} data hash mismatch")
+        self._blocks.append(block)
+
+    def block(self, block_id: int) -> Block:
+        """Return the block with the given id (1-based)."""
+        if not 1 <= block_id <= len(self._blocks):
+            raise LedgerError(f"no block with id {block_id}")
+        return self._blocks[block_id - 1]
+
+    def find_transaction(self, tx_id: str) -> Optional[tuple]:
+        """Locate ``tx_id``; returns (block, transaction) or None."""
+        for block in self._blocks:
+            for transaction in block.transactions:
+                if getattr(transaction, "tx_id", None) == tx_id:
+                    return block, transaction
+        return None
+
+    def verify_chain(self) -> bool:
+        """Re-verify the whole hash chain; True iff intact."""
+        previous = GENESIS_HASH
+        for expected_id, block in enumerate(self._blocks, start=1):
+            if block.block_id != expected_id:
+                return False
+            if block.header.previous_hash != previous:
+                return False
+            recomputed = compute_block_hash(
+                block.block_id, previous, block.transactions
+            )
+            if recomputed != block.header.data_hash:
+                return False
+            previous = block.header.data_hash
+        return True

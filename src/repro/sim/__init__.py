@@ -1,0 +1,31 @@
+"""A small discrete-event simulation (DES) engine.
+
+This package is the substrate that replaces the paper's six-server cluster.
+Clients, endorsing peers, the ordering service, and validators all run as
+DES *processes* (Python generators) inside one :class:`Environment`. Time
+is simulated: a `yield env.timeout(d)` models `d` seconds of latency or CPU
+work, and :class:`Resource` models a contended CPU so that concurrent
+channels and clients slow each other down — the effect behind the paper's
+Figure 11 scaling experiments.
+
+The design follows the classic process-interaction style (as popularised by
+SimPy) but is implemented from scratch and trimmed to what the Fabric
+simulation needs: events, timeouts, processes, FIFO resources, and stores.
+"""
+
+from repro.sim.engine import Environment, Event, Interrupt, Process, Timeout
+from repro.sim.resources import Resource, RWLock, Store
+from repro.sim.distributions import Rng, ZipfSampler
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Timeout",
+    "Resource",
+    "RWLock",
+    "Store",
+    "Rng",
+    "ZipfSampler",
+]

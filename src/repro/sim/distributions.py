@@ -1,0 +1,105 @@
+"""Seeded random distributions for workload generation.
+
+The Smallbank experiments select accounts with a Zipfian distribution
+parameterised by an ``s-value`` (paper Table 6: 0.0 — uniform — up to 2.0,
+highly skewed). :class:`ZipfSampler` implements inverse-CDF sampling over a
+finite population, matching that parameterisation: item ``i`` (1-based) has
+probability proportional to ``1 / i**s``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+from typing import List, Optional, Sequence
+
+
+class Rng:
+    """A seeded random source shared by a workload generator.
+
+    Thin wrapper around :mod:`random` that keeps all draws on one stream,
+    so a benchmark run is reproducible from a single integer seed.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._random = random.Random(seed)
+
+    def uniform(self, low: float, high: float) -> float:
+        """Uniform float in [low, high)."""
+        return self._random.uniform(low, high)
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in [low, high] inclusive."""
+        return self._random.randint(low, high)
+
+    def random(self) -> float:
+        """Uniform float in [0, 1)."""
+        return self._random.random()
+
+    def choice(self, items: Sequence) -> object:
+        """Uniform choice from ``items``."""
+        return self._random.choice(items)
+
+    def shuffle(self, items: List) -> None:
+        """Shuffle ``items`` in place."""
+        self._random.shuffle(items)
+
+    def sample_distinct(self, population: int, count: int) -> List[int]:
+        """Sample ``count`` distinct integers from range(population)."""
+        return self._random.sample(range(population), count)
+
+    def bernoulli(self, probability: float) -> bool:
+        """Return True with the given probability."""
+        return self._random.random() < probability
+
+    def exponential(self, mean: float) -> float:
+        """Exponentially distributed float with the given mean."""
+        return self._random.expovariate(1.0 / mean)
+
+
+class ZipfSampler:
+    """Zipf(s) sampling over a finite population via the inverse CDF.
+
+    ``s = 0`` degenerates to the uniform distribution, matching the
+    paper's note that "an s-value of 0 corresponds to a uniform
+    distribution". Ranks are mapped onto population indices by a fixed
+    seeded permutation so that "popular" items are spread across the key
+    space rather than clustered at low indices.
+    """
+
+    def __init__(self, population: int, s_value: float, rng: Optional[Rng] = None) -> None:
+        if population < 1:
+            raise ValueError(f"population must be >= 1, got {population}")
+        if s_value < 0:
+            raise ValueError(f"s-value must be >= 0, got {s_value}")
+        self.population = population
+        self.s_value = s_value
+        self._rng = rng or Rng(0)
+        if s_value == 0:
+            self._cdf: Optional[List[float]] = None
+        else:
+            weights = [1.0 / (rank ** s_value) for rank in range(1, population + 1)]
+            total = sum(weights)
+            self._cdf = list(itertools.accumulate(w / total for w in weights))
+            # Guard against floating-point undershoot at the tail.
+            self._cdf[-1] = 1.0
+        permutation = list(range(population))
+        random.Random(self._rng.seed ^ 0x5BF03635).shuffle(permutation)
+        self._rank_to_index = permutation
+
+    def sample(self) -> int:
+        """Draw one index in ``range(population)``."""
+        if self._cdf is None:
+            rank = self._rng.randint(0, self.population - 1)
+        else:
+            rank = bisect.bisect_left(self._cdf, self._rng.random())
+        return self._rank_to_index[rank]
+
+    def probability_of_rank(self, rank: int) -> float:
+        """Return P(rank) for the 0-based ``rank`` (testing helper)."""
+        if self._cdf is None:
+            return 1.0 / self.population
+        previous = self._cdf[rank - 1] if rank > 0 else 0.0
+        return self._cdf[rank] - previous

@@ -1,0 +1,34 @@
+"""Benchmark workloads.
+
+Three workloads drive the evaluation, mirroring the paper's Section 6.2.2:
+
+- :mod:`repro.workloads.smallbank` — the Smallbank banking benchmark
+  (six transactions over checking/savings accounts, Zipfian account
+  selection parameterised by an s-value);
+- :mod:`repro.workloads.custom` — the paper's configurable
+  read/write workload over hot and cold accounts (parameters N, RW, HR,
+  HW, HSS);
+- :mod:`repro.workloads.blank` — blank transactions without any logic,
+  used by Figure 1 to show the pipeline is crypto/network-bound;
+- :mod:`repro.workloads.ycsb` — a YCSB-style extension with the classic
+  core mixes A-F (the paper names YCSB among the standard suites
+  blockchains lack).
+"""
+
+from repro.workloads.base import Invocation, Workload
+from repro.workloads.blank import BlankWorkload
+from repro.workloads.custom import CustomWorkload, CustomWorkloadParams
+from repro.workloads.smallbank import SmallbankParams, SmallbankWorkload
+from repro.workloads.ycsb import YcsbParams, YcsbWorkload
+
+__all__ = [
+    "Invocation",
+    "Workload",
+    "BlankWorkload",
+    "CustomWorkload",
+    "CustomWorkloadParams",
+    "SmallbankParams",
+    "SmallbankWorkload",
+    "YcsbParams",
+    "YcsbWorkload",
+]

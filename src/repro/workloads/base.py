@@ -1,0 +1,40 @@
+"""Workload interface shared by all benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.fabric.chaincode import Chaincode
+from repro.sim.distributions import Rng
+
+
+@dataclass(frozen=True)
+class Invocation:
+    """One chaincode call a client should fire."""
+
+    function: str
+    args: Tuple
+
+
+class Workload:
+    """A workload: a chaincode, its initial state, and an invocation stream.
+
+    Implementations must be deterministic given the :class:`Rng` passed to
+    :meth:`next_invocation`, so entire benchmark runs replay from a seed.
+    """
+
+    #: Name under which the chaincode is installed on the channel.
+    chaincode_name = "workload"
+
+    def create_chaincode(self) -> Chaincode:
+        """Build the chaincode implementing this workload's transactions."""
+        raise NotImplementedError
+
+    def initial_state(self) -> Dict[str, object]:
+        """Key-value pairs seeded into the channel's genesis state."""
+        raise NotImplementedError
+
+    def next_invocation(self, rng: Rng) -> Invocation:
+        """Draw the next chaincode call for a client to fire."""
+        raise NotImplementedError

@@ -1,0 +1,44 @@
+"""Blank transactions without any logic (paper Figure 1, bottom bar).
+
+A blank transaction reads and writes nothing; its read/write sets are
+empty, so it always validates. Firing blank transactions isolates the
+pipeline's fixed costs — cryptography, ordering, and networking — from
+transaction processing: the paper observes that blank and meaningful
+transactions achieve essentially the same *total* throughput, proving the
+system is not bound by concurrency control.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.fabric.chaincode import Chaincode, ChaincodeStub
+from repro.sim.distributions import Rng
+from repro.workloads.base import Invocation, Workload
+
+
+class BlankChaincode(Chaincode):
+    """A smart contract that does nothing."""
+
+    name = "blank"
+
+    def invoke(self, stub: ChaincodeStub, function: str, args: tuple) -> object:
+        return None
+
+    def operation_count(self, function: str, args: tuple) -> int:
+        return 1
+
+
+class BlankWorkload(Workload):
+    """Fires no-op invocations."""
+
+    chaincode_name = BlankChaincode.name
+
+    def create_chaincode(self) -> Chaincode:
+        return BlankChaincode()
+
+    def initial_state(self) -> Dict[str, object]:
+        return {}
+
+    def next_invocation(self, rng: Rng) -> Invocation:
+        return Invocation("noop", ())

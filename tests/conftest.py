@@ -1,0 +1,29 @@
+"""Shared fixtures for the whole test-suite.
+
+The builder/oracle helpers live in :mod:`repro.testing` so the benchmark
+suite can share them; this conftest re-exports them for convenient
+``from tests.conftest import ...`` and provides fixtures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.testing import (  # noqa: F401 (re-exported for tests)
+    V1,
+    V2,
+    count_valid_in_order,
+    paper_table1_rwsets,
+    paper_table3_rwsets,
+    rwset,
+)
+
+
+@pytest.fixture
+def table3():
+    return paper_table3_rwsets()
+
+
+@pytest.fixture
+def table1():
+    return paper_table1_rwsets()

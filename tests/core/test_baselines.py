@@ -1,0 +1,128 @@
+"""Unit tests for the baseline schedulers."""
+
+import pytest
+
+from repro.core.baselines import arrival_order, bcc_reorder, optimal_reorder
+from repro.core.conflict_graph import schedule_is_serializable
+from repro.core.reorder import reorder
+from repro.testing import count_valid_in_order, paper_table1_rwsets, rwset
+
+
+def test_arrival_order_identity():
+    assert arrival_order(4) == [0, 1, 2, 3]
+    assert arrival_order(0) == []
+
+
+# -- optimal ------------------------------------------------------------------------
+
+
+def test_optimal_keeps_everything_when_acyclic():
+    block = [rwset(reads=["a"], writes=["b"]), rwset(reads=["b"], writes=["c"])]
+    result = optimal_reorder(block)
+    assert sorted(result.schedule) == [0, 1]
+    assert result.aborted == []
+    assert schedule_is_serializable(block, result.schedule)
+
+
+def test_optimal_breaks_cycle_minimally():
+    a = rwset(reads=["x"], writes=["y"])
+    b = rwset(reads=["y"], writes=["x"])
+    result = optimal_reorder([a, b])
+    assert len(result.aborted) == 1
+    assert schedule_is_serializable([a, b], result.schedule)
+
+
+def test_optimal_on_paper_table1():
+    block = paper_table1_rwsets()
+    result = optimal_reorder(block)
+    assert result.aborted == []
+    assert count_valid_in_order(block, result.schedule) == 4
+
+
+def test_optimal_never_below_greedy():
+    blocks = [
+        [rwset(reads=["a"], writes=["b"]),
+         rwset(reads=["b"], writes=["a"]),
+         rwset(reads=["a", "b"], writes=["c"]),
+         rwset(reads=["c"], writes=["a"])],
+        [rwset(reads=[f"k{i}"], writes=[f"k{(i + 1) % 5}"]) for i in range(5)],
+    ]
+    for block in blocks:
+        greedy = reorder(block)
+        optimal = optimal_reorder(block)
+        assert len(optimal.schedule) >= len(greedy.schedule)
+        assert schedule_is_serializable(block, optimal.schedule)
+
+
+def test_optimal_beats_greedy_on_clique_counterexample():
+    """The clique where greedy loses to arrival order: optimal finds more."""
+    block = (
+        [rwset(reads=["k0"], writes=["k1"])]
+        + [rwset(reads=["k0", "k1"], writes=["k0"]) for _ in range(2)]
+        + [rwset(reads=["k0"], writes=["k0"])]
+        + [rwset(reads=["k0", "k1"], writes=["k0"]) for _ in range(3)]
+    )
+    greedy = reorder(block)
+    optimal = optimal_reorder(block)
+    assert len(optimal.schedule) > len(greedy.schedule)
+    assert count_valid_in_order(block, optimal.schedule) == len(optimal.schedule)
+
+
+def test_optimal_rejects_large_inputs():
+    block = [rwset(reads=[f"r{i}"]) for i in range(20)]
+    with pytest.raises(ValueError):
+        optimal_reorder(block, max_transactions=16)
+
+
+# -- BCC ----------------------------------------------------------------------------
+
+
+def test_bcc_no_conflicts_all_commit():
+    block = [rwset(reads=[f"r{i}"], writes=[f"w{i}"]) for i in range(4)]
+    schedule, aborted = bcc_reorder(block)
+    assert sorted(schedule) == [0, 1, 2, 3]
+    assert aborted == []
+
+
+def test_bcc_rescues_movable_reader():
+    """A stale reader whose writes clash with nothing moves to the front."""
+    writer = rwset(reads=["a"], writes=["k"])
+    stale_reader = rwset(reads=["k"], writes=["fresh"])
+    schedule, aborted = bcc_reorder([writer, stale_reader])
+    assert aborted == []
+    assert schedule == [1, 0]  # reader rescued to the front
+    assert count_valid_in_order([writer, stale_reader], schedule) == 2
+
+
+def test_bcc_cannot_rescue_write_clash():
+    """If something already committed read what the loser writes, the
+    begin-time move would invalidate history — abort."""
+    t0 = rwset(reads=["x"], writes=["k"])
+    t1 = rwset(reads=["k"], writes=["x"])  # writes x, which t0 read
+    schedule, aborted = bcc_reorder([t0, t1])
+    assert aborted == [1]
+    assert schedule == [0]
+
+
+def test_bcc_weaker_than_full_reordering_on_paper_example():
+    """The paper argues BCC 'wastes a lot of optimization potential'
+    because commits may only move to the begin time; Table 1's block
+    shows it: full reordering keeps all four, BCC loses transactions."""
+    block = paper_table1_rwsets()
+    bcc_schedule, bcc_aborted = bcc_reorder(block)
+    full = reorder(block)
+    assert len(full.schedule) == 4
+    assert len(bcc_schedule) < 4
+    assert len(bcc_aborted) >= 1
+
+
+def test_bcc_schedule_validates():
+    block = [
+        rwset(reads=["a"], writes=["b"]),
+        rwset(reads=["b"], writes=["c"]),
+        rwset(reads=["c", "a"], writes=["d"]),
+        rwset(reads=["d"], writes=["a"]),
+    ]
+    schedule, aborted = bcc_reorder(block)
+    assert count_valid_in_order(block, schedule) == len(schedule)
+    assert sorted(schedule + aborted) == [0, 1, 2, 3]

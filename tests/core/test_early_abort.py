@@ -1,0 +1,122 @@
+"""Unit tests for the within-block version-mismatch early abort."""
+
+from repro.core.early_abort import filter_stale_within_block
+from repro.ledger.state_db import Version
+from tests.conftest import rwset
+
+V1 = Version(1, 0)
+V2 = Version(2, 0)
+V3 = Version(3, 0)
+
+
+def test_empty_batch():
+    assert filter_stale_within_block([]) == ([], [])
+
+
+def test_no_shared_reads_all_kept():
+    batch = [rwset(reads=[("a", V1)]), rwset(reads=[("b", V2)])]
+    kept, aborted = filter_stale_within_block(batch)
+    assert kept == [0, 1]
+    assert aborted == []
+
+
+def test_same_version_reads_all_kept():
+    batch = [rwset(reads=[("k", V1)]), rwset(reads=[("k", V1)])]
+    kept, aborted = filter_stale_within_block(batch)
+    assert kept == [0, 1]
+    assert aborted == []
+
+
+def test_older_version_reader_aborted():
+    """Paper correction to Section 5.2.2: the transaction that read the
+    OLDER version (T6 in the example) is the one early aborted."""
+    t6 = rwset(reads=[("k", V1)])
+    t7 = rwset(reads=[("k", V2)])
+    kept, aborted = filter_stale_within_block([t6, t7])
+    assert aborted == [0]  # T6 read the older version v1
+    assert kept == [1]
+
+
+def test_order_within_block_does_not_matter():
+    t6 = rwset(reads=[("k", V1)])
+    t7 = rwset(reads=[("k", V2)])
+    kept, aborted = filter_stale_within_block([t7, t6])
+    assert aborted == [1]
+    assert kept == [0]
+
+
+def test_majority_old_readers_all_aborted():
+    batch = [
+        rwset(reads=[("k", V1)]),
+        rwset(reads=[("k", V1)]),
+        rwset(reads=[("k", V2)]),
+    ]
+    kept, aborted = filter_stale_within_block(batch)
+    assert kept == [2]
+    assert aborted == [0, 1]
+
+
+def test_three_versions_only_newest_kept():
+    batch = [
+        rwset(reads=[("k", V1)]),
+        rwset(reads=[("k", V2)]),
+        rwset(reads=[("k", V3)]),
+    ]
+    kept, aborted = filter_stale_within_block(batch)
+    assert kept == [2]
+    assert aborted == [0, 1]
+
+
+def test_absent_read_older_than_concrete():
+    """None (key absent) loses against a concrete version."""
+    ghost_reader = rwset(reads=[("k", None)])
+    fresh_reader = rwset(reads=[("k", V1)])
+    kept, aborted = filter_stale_within_block([ghost_reader, fresh_reader])
+    assert kept == [1]
+    assert aborted == [0]
+
+
+def test_all_absent_reads_kept():
+    batch = [rwset(reads=[("k", None)]), rwset(reads=[("k", None)])]
+    kept, aborted = filter_stale_within_block(batch)
+    assert kept == [0, 1]
+
+
+def test_stale_on_any_key_aborts():
+    """One stale read anywhere dooms the whole transaction."""
+    batch = [
+        rwset(reads=[("a", V1), ("b", V1)]),
+        rwset(reads=[("b", V2)]),
+    ]
+    kept, aborted = filter_stale_within_block(batch)
+    assert aborted == [0]
+
+
+def test_writes_do_not_trigger_version_filter():
+    batch = [
+        rwset(reads=[("k", V1)], writes=["k"]),
+        rwset(writes=["k"]),
+    ]
+    kept, aborted = filter_stale_within_block(batch)
+    assert kept == [0, 1]
+
+
+def test_block_version_comparison_within_same_block_id():
+    """tx_id breaks ties within a block id."""
+    early = rwset(reads=[("k", Version(5, 1))])
+    late = rwset(reads=[("k", Version(5, 9))])
+    kept, aborted = filter_stale_within_block([early, late])
+    assert kept == [1]
+    assert aborted == [0]
+
+
+def test_indices_are_disjoint_and_complete():
+    batch = [
+        rwset(reads=[("a", V1)]),
+        rwset(reads=[("a", V2), ("b", V1)]),
+        rwset(reads=[("b", V1)]),
+        rwset(),
+    ]
+    kept, aborted = filter_stale_within_block(batch)
+    assert sorted(kept + aborted) == [0, 1, 2, 3]
+    assert not set(kept) & set(aborted)

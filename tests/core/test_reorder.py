@@ -1,0 +1,199 @@
+"""Unit tests for the reordering mechanism (Algorithm 1)."""
+
+from repro.core.conflict_graph import build_conflict_graph, schedule_is_serializable
+from repro.core.reorder import reorder
+from repro.graphalgo import is_acyclic
+from tests.conftest import count_valid_in_order, rwset
+
+
+def test_empty_block():
+    result = reorder([])
+    assert result.schedule == []
+    assert result.aborted == []
+    assert result.cycles_found == 0
+
+
+def test_single_transaction():
+    result = reorder([rwset(reads=["a"], writes=["b"])])
+    assert result.schedule == [0]
+    assert result.aborted == []
+
+
+def test_independent_transactions_all_kept():
+    block = [rwset(reads=[f"r{i}"], writes=[f"w{i}"]) for i in range(10)]
+    result = reorder(block)
+    assert sorted(result.schedule) == list(range(10))
+    assert result.aborted == []
+
+
+def test_simple_conflict_orders_reader_first():
+    writer = rwset(writes=["k"])
+    reader = rwset(reads=["k"])
+    result = reorder([writer, reader])
+    assert result.schedule == [1, 0]  # reader commits before writer
+    assert result.aborted == []
+
+
+def test_two_cycle_aborts_one():
+    a = rwset(reads=["x"], writes=["y"])
+    b = rwset(reads=["y"], writes=["x"])
+    result = reorder([a, b])
+    assert len(result.aborted) == 1
+    assert len(result.schedule) == 1
+    assert result.cycles_found == 1
+
+
+def test_cycle_tie_breaks_to_smaller_index():
+    """Both members of a 2-cycle appear in one cycle; T0 is removed."""
+    a = rwset(reads=["x"], writes=["y"])
+    b = rwset(reads=["y"], writes=["x"])
+    result = reorder([a, b])
+    assert result.aborted == [0]
+
+
+def test_table1_arrival_order_vs_reordered(table1):
+    """Paper Tables 1+2: arrival order commits 1 of 4; reordering all 4."""
+    arrival_valid = count_valid_in_order(table1, [0, 1, 2, 3])
+    assert arrival_valid == 1
+    result = reorder(table1)
+    assert result.aborted == []
+    assert count_valid_in_order(table1, result.schedule) == 4
+    # T1 (index 0), the writer of k1, must commit after all its readers.
+    assert result.schedule[-1] == 0
+
+
+def test_table2_order_is_valid(table1):
+    """The paper's example order T4 => T2 => T3 => T1 commits all four."""
+    assert count_valid_in_order(table1, [3, 1, 2, 0]) == 4
+
+
+def test_paper_example_schedule(table3):
+    """The worked example of Section 5.1.1: T0 and T2 aborted, then
+    the final schedule is T5 => T1 => T3 => T4."""
+    result = reorder(table3)
+    assert result.aborted == [0, 2]
+    assert result.schedule == [5, 1, 3, 4]
+    assert result.cycles_found == 3
+
+
+def test_paper_example_schedule_is_serializable(table3):
+    result = reorder(table3)
+    assert schedule_is_serializable(table3, result.schedule)
+    survivors = [table3[i] for i in result.schedule]
+    assert is_acyclic(build_conflict_graph(survivors))
+
+
+def test_schedule_respects_every_edge():
+    block = [
+        rwset(reads=["a"], writes=["b"]),
+        rwset(reads=["b"], writes=["c"]),
+        rwset(reads=["c"], writes=["d"]),
+    ]
+    result = reorder(block)
+    # Chain of conflicts 0<-1<-2 in commit terms: 2 writes d (no reader),
+    # edges are 1->0 (1 writes b read by... wait 0 reads a, writes b;
+    # 1 reads b). Edge 0 -> 1 (0 writes b, 1 reads b), 1 -> 2.
+    assert result.aborted == []
+    assert schedule_is_serializable(block, result.schedule)
+    assert result.schedule.index(1) < result.schedule.index(0)
+    assert result.schedule.index(2) < result.schedule.index(1)
+
+
+def test_blank_transactions_never_aborted():
+    block = [rwset() for _ in range(5)]
+    result = reorder(block)
+    assert len(result.schedule) == 5
+    assert result.aborted == []
+
+
+def test_elapsed_time_recorded():
+    result = reorder([rwset(reads=["a"]) for _ in range(50)])
+    assert result.elapsed_seconds >= 0
+
+
+def test_num_kept_property():
+    a = rwset(reads=["x"], writes=["y"])
+    b = rwset(reads=["y"], writes=["x"])
+    result = reorder([a, b, rwset()])
+    assert result.num_kept == 2
+
+
+def test_three_cycle_aborts_one():
+    block = [
+        rwset(reads=["a"], writes=["b"]),
+        rwset(reads=["b"], writes=["c"]),
+        rwset(reads=["c"], writes=["a"]),
+    ]
+    result = reorder(block)
+    assert len(result.aborted) == 1
+    assert schedule_is_serializable(block, result.schedule)
+
+
+def test_hub_transaction_aborted_preferentially():
+    """A tx in many cycles should be the greedy victim."""
+    hub = rwset(reads=["a", "b", "c"], writes=["x"])
+    spokes = [
+        rwset(reads=["x"], writes=["a"]),
+        rwset(reads=["x"], writes=["b"]),
+        rwset(reads=["x"], writes=["c"]),
+    ]
+    result = reorder([hub] + spokes)
+    assert result.aborted == [0]
+    assert sorted(result.schedule) == [1, 2, 3]
+
+
+def test_max_cycles_cap_still_serializable():
+    """Even with a tiny cycle cap the output must be serializable."""
+    block = []
+    for i in range(12):
+        block.append(rwset(reads=[f"k{i}"], writes=[f"k{(i + 1) % 12}"]))
+    # Add cross edges to make many cycles.
+    block.append(rwset(reads=["k0", "k3", "k6"], writes=["k1", "k4", "k7"]))
+    result = reorder(block, max_cycles=1)
+    assert schedule_is_serializable(block, result.schedule)
+
+
+def test_reordering_beats_arrival_order_on_shifted_pattern():
+    """Appendix B.1 pattern: writers before readers in arrival order."""
+    n = 32
+    writers = [rwset(writes=[f"k{i}"]) for i in range(n)]
+    readers = [rwset(reads=[f"k{i}"]) for i in range(n)]
+    block = writers + readers  # worst arrival order
+    arrival_valid = count_valid_in_order(block, list(range(2 * n)))
+    assert arrival_valid == n  # every reader is stale
+    result = reorder(block)
+    assert result.aborted == []
+    assert count_valid_in_order(block, result.schedule) == 2 * n
+
+
+def test_deterministic_output():
+    block = [
+        rwset(reads=["a", "b"], writes=["c"]),
+        rwset(reads=["c"], writes=["a"]),
+        rwset(reads=["c", "a"], writes=["b"]),
+        rwset(reads=["b"], writes=["d"]),
+    ]
+    first = reorder(block)
+    second = reorder(block)
+    assert first.schedule == second.schedule
+    assert first.aborted == second.aborted
+
+
+def test_paper_table4_cycle_membership(table3):
+    """Table 4: per-transaction cycle participation counts —
+    T0:2, T1:1, T2:1, T3:2, T4:1, T5:0."""
+    from collections import Counter
+
+    from repro.core.conflict_graph import build_conflict_graph
+    from repro.graphalgo import simple_cycles, strongly_connected_components
+
+    graph = build_conflict_graph(table3)
+    membership = Counter()
+    for component in strongly_connected_components(graph):
+        if len(component) < 2:
+            continue
+        for cycle in simple_cycles(graph.subgraph(component)):
+            for tx in cycle:
+                membership[tx] += 1
+    assert dict(membership) == {0: 2, 1: 1, 2: 1, 3: 2, 4: 1}
+    assert membership[5] == 0

@@ -1,0 +1,110 @@
+"""Additional reordering properties and schedule-construction tests."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.conflict_graph import build_conflict_graph, schedule_is_serializable
+from repro.core.reorder import _build_schedule, reorder
+from repro.fabric.rwset import ReadWriteSet
+from repro.graphalgo import DiGraph
+from repro.ledger.state_db import Version
+from repro.testing import rwset
+
+KEYS = [f"k{i}" for i in range(6)]
+
+
+@st.composite
+def random_rwset(draw):
+    reads = draw(st.lists(st.sampled_from(KEYS), max_size=3, unique=True))
+    writes = draw(st.lists(st.sampled_from(KEYS), max_size=3, unique=True))
+    result = ReadWriteSet()
+    for key in reads:
+        result.record_read(key, Version(1, 0))
+    for key in writes:
+        result.record_write(key, 1)
+    return result
+
+
+@given(st.lists(random_rwset(), max_size=10))
+@settings(deadline=None)
+def test_reorder_is_idempotent(block):
+    """Reordering a reordered block keeps every transaction: the
+    survivors' conflict graph is acyclic, so no further aborts happen."""
+    first = reorder(block)
+    survivors = [block[i] for i in first.schedule]
+    second = reorder(survivors)
+    assert second.aborted == []
+    assert len(second.schedule) == len(survivors)
+    final = [survivors[i] for i in second.schedule]
+    assert schedule_is_serializable(block, [
+        first.schedule[second.schedule[i]] for i in range(len(final))
+    ])
+
+
+@given(st.lists(random_rwset(), max_size=10))
+@settings(deadline=None)
+def test_read_only_transactions_never_aborted(block):
+    readers = [rwset(reads=["k0", "k1"]) for _ in range(3)]
+    combined = list(block) + readers
+    result = reorder(combined)
+    reader_indices = set(range(len(block), len(combined)))
+    assert not reader_indices & set(result.aborted)
+
+
+@given(st.lists(random_rwset(), max_size=10))
+@settings(deadline=None)
+def test_write_only_transactions_never_aborted(block):
+    """Blind writers read nothing, so no edge points *into* them from a
+    cycle they complete... they can still appear in cycles only via
+    their writes conflicting into readers; a write-only tx has no reads,
+    so no incoming write->read edge targets it — it cannot be on a cycle."""
+    writers = [rwset(writes=["k0", "k1"]) for _ in range(2)]
+    combined = list(block) + writers
+    result = reorder(combined)
+    writer_indices = set(range(len(block), len(combined)))
+    assert not writer_indices & set(result.aborted)
+
+
+# -- _build_schedule on handmade DAGs -----------------------------------------------
+
+
+def test_build_schedule_empty():
+    assert _build_schedule(DiGraph()) == []
+
+
+def test_build_schedule_single_node():
+    assert _build_schedule(DiGraph([0])) == [0]
+
+
+def test_build_schedule_chain():
+    graph = DiGraph()
+    graph.add_edge(0, 1)  # 0 writes what 1 reads: 1 must commit first
+    graph.add_edge(1, 2)
+    order = _build_schedule(graph)
+    assert order.index(2) < order.index(1) < order.index(0)
+
+
+def test_build_schedule_respects_reverse_topology():
+    graph = DiGraph()
+    edges = [(0, 2), (1, 2), (2, 3), (1, 3)]
+    for a, b in edges:
+        graph.add_edge(a, b)
+    order = _build_schedule(graph)
+    position = {node: i for i, node in enumerate(order)}
+    for writer, reader in edges:
+        assert position[reader] < position[writer]
+
+
+def test_build_schedule_covers_disconnected_nodes():
+    graph = DiGraph([0, 1, 2, 3])
+    graph.add_edge(0, 1)
+    order = _build_schedule(graph)
+    assert sorted(order) == [0, 1, 2, 3]
+
+
+def test_paper_schedule_traversal_example(table3):
+    """Step 5's traversal on the cycle-free C(S'): T5 => T1 => T3 => T4."""
+    survivors = [1, 3, 4, 5]
+    reduced = build_conflict_graph([table3[i] for i in survivors])
+    local = _build_schedule(reduced)
+    assert [survivors[i] for i in local] == [5, 1, 3, 4]

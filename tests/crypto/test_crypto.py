@@ -1,0 +1,92 @@
+"""Unit tests for identities and simulated signatures."""
+
+import pytest
+
+from repro.crypto.identity import Identity, IdentityRegistry, KeyPair
+from repro.crypto.signing import Signature, sign, verify
+from repro.errors import CryptoError
+
+
+@pytest.fixture
+def registry():
+    reg = IdentityRegistry()
+    reg.register("peer0.OrgA", "OrgA")
+    reg.register("peer0.OrgB", "OrgB")
+    return reg
+
+
+def test_keypair_deterministic():
+    a = KeyPair.generate(b"seed")
+    b = KeyPair.generate(b"seed")
+    assert a == b
+    assert a.secret != a.verify_token
+
+
+def test_different_seeds_different_keys():
+    assert KeyPair.generate(b"x") != KeyPair.generate(b"y")
+
+
+def test_identity_create():
+    identity = Identity.create("peer1.OrgA", "OrgA")
+    assert identity.name == "peer1.OrgA"
+    assert identity.org == "OrgA"
+
+
+def test_registry_register_and_lookup(registry):
+    identity = registry.lookup("peer0.OrgA")
+    assert identity.org == "OrgA"
+    assert "peer0.OrgA" in registry
+    assert "ghost" not in registry
+
+
+def test_registry_duplicate_rejected(registry):
+    with pytest.raises(CryptoError):
+        registry.register("peer0.OrgA", "OrgA")
+
+
+def test_registry_unknown_lookup_raises(registry):
+    with pytest.raises(CryptoError):
+        registry.lookup("ghost")
+
+
+def test_members_of(registry):
+    registry.register("peer1.OrgA", "OrgA")
+    names = sorted(m.name for m in registry.members_of("OrgA"))
+    assert names == ["peer0.OrgA", "peer1.OrgA"]
+
+
+def test_sign_verify_roundtrip(registry):
+    identity = registry.lookup("peer0.OrgA")
+    signature = sign(identity, b"payload")
+    assert verify(registry, signature, b"payload")
+
+
+def test_verify_rejects_tampered_payload(registry):
+    identity = registry.lookup("peer0.OrgA")
+    signature = sign(identity, b"payload")
+    assert not verify(registry, signature, b"tampered")
+
+
+def test_verify_rejects_wrong_signer_claim(registry):
+    """A signature cannot be re-attributed to another identity."""
+    orga = registry.lookup("peer0.OrgA")
+    signature = sign(orga, b"payload")
+    forged = Signature(signer="peer0.OrgB", value=signature.value)
+    assert not verify(registry, forged, b"payload")
+
+
+def test_verify_rejects_unknown_signer(registry):
+    signature = Signature(signer="nobody", value=b"\x00" * 32)
+    assert not verify(registry, signature, b"payload")
+
+
+def test_signatures_deterministic(registry):
+    identity = registry.lookup("peer0.OrgA")
+    assert sign(identity, b"x") == sign(identity, b"x")
+    assert sign(identity, b"x") != sign(identity, b"y")
+
+
+def test_two_identities_sign_differently(registry):
+    a = registry.lookup("peer0.OrgA")
+    b = registry.lookup("peer0.OrgB")
+    assert sign(a, b"same payload").value != sign(b, b"same payload").value

@@ -1,0 +1,102 @@
+"""Builders for peer/orderer tests that need a wired DES environment."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Optional
+
+import pytest
+
+from repro.crypto.identity import IdentityRegistry
+from repro.crypto.signing import sign
+from repro.fabric.chaincode import Chaincode, ChaincodeRegistry
+from repro.fabric.config import FabricConfig
+from repro.fabric.metrics import PipelineMetrics, TxOutcome
+from repro.fabric.peer import Peer
+from repro.fabric.policy import AllOrgs
+from repro.fabric.rwset import ReadWriteSet
+from repro.fabric.transaction import (
+    Endorsement,
+    Proposal,
+    Transaction,
+    endorsement_payload,
+)
+from repro.sim.engine import Environment
+
+
+class CounterChaincode(Chaincode):
+    """Reads a key, writes key+1 — the simplest conflicting contract."""
+
+    name = "counter"
+
+    def invoke(self, stub, function, args):
+        (key,) = args
+        value = stub.get_state(key) or 0
+        stub.put_state(key, value + 1)
+        return value + 1
+
+
+class TestBed:
+    """A two-org, one-peer-per-org network without clients or orderer."""
+
+    __test__ = False  # helper, not a test class
+
+    def __init__(self, config: Optional[FabricConfig] = None, initial=None):
+        self.config = config or replace(
+            FabricConfig(), num_orgs=2, peers_per_org=1
+        )
+        self.env = Environment()
+        self.registry = IdentityRegistry()
+        self.policy = AllOrgs("OrgA", "OrgB")
+        self.metrics = PipelineMetrics()
+        self.notifications: Dict[str, TxOutcome] = {}
+        self.chaincodes = ChaincodeRegistry()
+        self.chaincodes.install(CounterChaincode())
+        self.peers = []
+        for org in ("OrgA", "OrgB"):
+            identity = self.registry.register(f"peer0.{org}", org)
+            peer = Peer(self.env, identity, self.config, self.registry)
+            peer.join_channel(
+                "ch0", self.chaincodes, self.policy, initial_state=initial or {}
+            )
+            self.peers.append(peer)
+        self.peers[0].attach_reference_hooks(self._notify, self.metrics)
+
+    def _notify(self, tx_id: str, outcome: TxOutcome) -> None:
+        self.notifications[tx_id] = outcome
+
+    def proposal(self, proposal_id: str, key: str = "k") -> Proposal:
+        return Proposal(
+            proposal_id, "client0", "ch0", "counter", "inc", (key,),
+            submitted_at=self.env.now,
+        )
+
+    def endorse_everywhere(self, proposal: Proposal):
+        """Run endorsement on both peers; returns the list of replies."""
+        handles = [peer.endorse("ch0", proposal) for peer in self.peers]
+        self.env.run()
+        return [handle.value for handle in handles]
+
+    def make_transaction(self, proposal: Proposal, replies) -> Transaction:
+        endorsements = [reply.endorsement for reply in replies]
+        return Transaction(
+            tx_id=proposal.proposal_id,
+            proposal=proposal,
+            rwset=endorsements[0].rwset,
+            endorsements=endorsements,
+        )
+
+    def forge_endorsement(self, proposal: Proposal, rwset: ReadWriteSet, peer):
+        """An honest signature over an honest rwset, for tamper tests."""
+        signature = sign(peer.identity, endorsement_payload(proposal, rwset))
+        return Endorsement(peer.name, peer.org, rwset, signature)
+
+    def deliver(self, block):
+        for peer in self.peers:
+            peer.deliver_block("ch0", block)
+        self.env.run()
+
+
+@pytest.fixture
+def testbed():
+    return TestBed(initial={"k": 0, "x": 10, "y": 20})

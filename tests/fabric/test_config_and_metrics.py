@@ -1,0 +1,144 @@
+"""Unit tests for configuration and pipeline metrics."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fabric.config import CostModel, FabricConfig
+from repro.fabric.metrics import LatencyStats, PipelineMetrics, TxOutcome
+
+
+# -- FabricConfig ------------------------------------------------------------------
+
+
+def test_default_config_is_vanilla():
+    config = FabricConfig()
+    assert not config.is_fabric_plus_plus
+    config.validate()
+
+
+def test_with_fabric_plus_plus_enables_all():
+    config = FabricConfig().with_fabric_plus_plus()
+    assert config.reordering
+    assert config.early_abort_simulation
+    assert config.early_abort_ordering
+    assert config.is_fabric_plus_plus
+
+
+def test_with_vanilla_round_trip():
+    config = FabricConfig().with_fabric_plus_plus().with_vanilla()
+    assert not config.is_fabric_plus_plus
+
+
+def test_single_flag_counts_as_fabricpp():
+    from dataclasses import replace
+
+    config = replace(FabricConfig(), reordering=True)
+    assert config.is_fabric_plus_plus
+
+
+@pytest.mark.parametrize(
+    "field,value",
+    [
+        ("num_orgs", 0),
+        ("peers_per_org", 0),
+        ("cores_per_peer", 0),
+        ("num_channels", 0),
+        ("clients_per_channel", 0),
+        ("client_rate", 0),
+        ("client_window", 0),
+    ],
+)
+def test_validation_rejects_bad_values(field, value):
+    from dataclasses import replace
+
+    config = replace(FabricConfig(), **{field: value})
+    with pytest.raises(ConfigError):
+        config.validate()
+
+
+def test_cost_model_block_distribution_scales_with_size():
+    costs = CostModel()
+    small = costs.block_distribution_delay(1000)
+    large = costs.block_distribution_delay(2_000_000)
+    assert large > small
+    assert small >= costs.net_block_base
+
+
+def test_cost_model_validation_cost_scales_with_endorsements():
+    costs = CostModel()
+    assert costs.tx_validation_cost(4) > costs.tx_validation_cost(1)
+    assert costs.tx_validation_cost(0) == costs.mvcc_check
+
+
+# -- PipelineMetrics ----------------------------------------------------------------
+
+
+def test_metrics_start_empty():
+    metrics = PipelineMetrics()
+    assert metrics.successful == 0
+    assert metrics.failed == 0
+    assert metrics.successful_tps() == 0.0
+    assert metrics.latency() is None
+
+
+def test_record_outcomes():
+    metrics = PipelineMetrics()
+    metrics.record_outcome(TxOutcome.COMMITTED, latency=0.5)
+    metrics.record_outcome(TxOutcome.COMMITTED, latency=1.5)
+    metrics.record_outcome(TxOutcome.ABORT_MVCC, latency=2.0)
+    assert metrics.successful == 2
+    assert metrics.failed == 1
+    assert metrics.resolved == 3
+    assert metrics.commit_latencies == [0.5, 1.5]
+
+
+def test_tps_computation():
+    metrics = PipelineMetrics()
+    for _ in range(10):
+        metrics.record_outcome(TxOutcome.COMMITTED, latency=0.1)
+    for _ in range(5):
+        metrics.record_outcome(TxOutcome.EARLY_ABORT_CYCLE)
+    metrics.duration = 2.0
+    assert metrics.successful_tps() == 5.0
+    assert metrics.failed_tps() == 2.5
+    assert metrics.total_tps() == 7.5
+
+
+def test_latency_stats():
+    stats = LatencyStats.from_samples([0.2, 0.4, 0.6])
+    assert stats.minimum == 0.2
+    assert stats.maximum == 0.6
+    assert stats.average == pytest.approx(0.4)
+    assert stats.count == 3
+    assert LatencyStats.from_samples([]) is None
+
+
+def test_outcome_classification():
+    assert TxOutcome.COMMITTED.is_success
+    assert not TxOutcome.ABORT_MVCC.is_success
+    assert TxOutcome.EARLY_ABORT_SIM.is_early_abort
+    assert TxOutcome.EARLY_ABORT_CYCLE.is_early_abort
+    assert TxOutcome.EARLY_ABORT_VERSION.is_early_abort
+    assert not TxOutcome.ABORT_MVCC.is_early_abort
+    assert not TxOutcome.COMMITTED.is_early_abort
+
+
+def test_block_accounting():
+    metrics = PipelineMetrics()
+    metrics.record_block(100)
+    metrics.record_block(50)
+    assert metrics.blocks_committed == 2
+    assert metrics.average_block_size() == 75.0
+
+
+def test_summary_contains_headline_fields():
+    metrics = PipelineMetrics()
+    metrics.record_fired()
+    metrics.record_outcome(TxOutcome.COMMITTED, latency=0.3)
+    metrics.duration = 1.0
+    summary = metrics.summary()
+    assert summary["fired"] == 1
+    assert summary["successful"] == 1
+    assert summary["successful_tps"] == 1.0
+    assert summary["latency_avg"] == 0.3
+    assert summary["outcomes"] == {"committed": 1}

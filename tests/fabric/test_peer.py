@@ -1,0 +1,245 @@
+"""Unit tests for peers: endorsement, validation, commit."""
+
+from dataclasses import replace
+
+from repro.fabric.config import FabricConfig
+from repro.fabric.metrics import TxOutcome
+from repro.fabric.rwset import ReadWriteSet
+from repro.ledger.block import Block
+from repro.ledger.ledger import GENESIS_HASH
+from repro.ledger.state_db import Version
+from tests.fabric.conftest import TestBed
+
+
+# -- endorsement -------------------------------------------------------------------
+
+
+def test_endorsement_builds_signed_rwset(testbed):
+    proposal = testbed.proposal("p1")
+    replies = testbed.endorse_everywhere(proposal)
+    assert all(not reply.early_aborted for reply in replies)
+    rwsets = [reply.endorsement.rwset for reply in replies]
+    assert rwsets[0] == rwsets[1]
+    assert rwsets[0].reads["k"] == Version(0, 0)
+    assert rwsets[0].writes["k"] == 1
+
+
+def test_endorsement_consumes_simulated_time(testbed):
+    proposal = testbed.proposal("p1")
+    testbed.endorse_everywhere(proposal)
+    assert testbed.env.now > 0
+
+
+def test_endorsements_signed_by_each_peer(testbed):
+    proposal = testbed.proposal("p1")
+    replies = testbed.endorse_everywhere(proposal)
+    signers = {reply.endorsement.signature.signer for reply in replies}
+    assert signers == {"peer0.OrgA", "peer0.OrgB"}
+
+
+def test_byzantine_hook_changes_rwset(testbed):
+    def corrupt(rwset):
+        bad = rwset.copy()
+        bad.record_write("k", 999_999)
+        return bad
+
+    testbed.peers[1].byzantine_rwset_hook = corrupt
+    replies = testbed.endorse_everywhere(testbed.proposal("p1"))
+    assert replies[0].endorsement.rwset != replies[1].endorsement.rwset
+
+
+# -- validation and commit ------------------------------------------------------------
+
+
+def make_block(testbed, transactions, block_id=1, previous=GENESIS_HASH):
+    return Block.create(block_id, previous, transactions)
+
+
+def test_valid_transaction_commits(testbed):
+    proposal = testbed.proposal("p1")
+    tx = testbed.make_transaction(proposal, testbed.endorse_everywhere(proposal))
+    testbed.deliver(make_block(testbed, [tx]))
+    assert testbed.notifications["p1"] is TxOutcome.COMMITTED
+    for peer in testbed.peers:
+        state = peer.channels["ch0"].state
+        assert state.get_value("k") == 1
+        assert state.get_version("k") == Version(1, 0)
+        assert peer.channels["ch0"].ledger.height == 1
+
+
+def test_invalid_transaction_effects_discarded(testbed):
+    proposal = testbed.proposal("p1")
+    tx = testbed.make_transaction(proposal, testbed.endorse_everywhere(proposal))
+    # Fake a stale read: pretend the simulation saw a newer version.
+    tx.rwset.reads["k"] = Version(7, 0)
+    for endorsement in tx.endorsements:
+        endorsement.rwset.reads["k"] = Version(7, 0)
+    # Re-sign so the policy check passes and only MVCC fails.
+    tx.endorsements = [
+        testbed.forge_endorsement(proposal, tx.rwset, peer)
+        for peer in testbed.peers
+    ]
+    testbed.deliver(make_block(testbed, [tx]))
+    assert testbed.notifications["p1"] is TxOutcome.ABORT_MVCC
+    assert testbed.peers[0].channels["ch0"].state.get_value("k") == 0
+
+
+def test_invalid_transaction_stays_in_block_marked(testbed):
+    proposal = testbed.proposal("p1")
+    tx = testbed.make_transaction(proposal, testbed.endorse_everywhere(proposal))
+    tx.rwset.reads["k"] = Version(7, 0)
+    tx.endorsements = [
+        testbed.forge_endorsement(proposal, tx.rwset, peer)
+        for peer in testbed.peers
+    ]
+    block = make_block(testbed, [tx])
+    testbed.deliver(block)
+    assert block.is_valid("p1") is False
+    ledger = testbed.peers[0].channels["ch0"].ledger
+    assert ledger.find_transaction("p1") is not None
+
+
+def test_within_block_conflict_invalidates_later_tx(testbed):
+    """Two increments of the same key in one block: only the first commits
+    (paper Table 1 semantics)."""
+    p1, p2 = testbed.proposal("p1"), testbed.proposal("p2")
+    tx1 = testbed.make_transaction(p1, testbed.endorse_everywhere(p1))
+    tx2 = testbed.make_transaction(p2, testbed.endorse_everywhere(p2))
+    testbed.deliver(make_block(testbed, [tx1, tx2]))
+    assert testbed.notifications["p1"] is TxOutcome.COMMITTED
+    assert testbed.notifications["p2"] is TxOutcome.ABORT_MVCC
+    assert testbed.peers[0].channels["ch0"].state.get_value("k") == 1
+
+
+def test_within_block_reader_before_writer_both_commit(testbed):
+    """A read-only tx ordered before the writer commits fine."""
+    reader_rwset = ReadWriteSet()
+    reader_rwset.record_read("k", Version(0, 0))
+    reader_proposal = testbed.proposal("reader")
+    reader_tx = testbed.make_transaction(
+        reader_proposal,
+        [
+            type("R", (), {"endorsement": testbed.forge_endorsement(
+                reader_proposal, reader_rwset, peer), "early_aborted": False})()
+            for peer in testbed.peers
+        ],
+    )
+    writer_proposal = testbed.proposal("writer")
+    writer_tx = testbed.make_transaction(
+        writer_proposal, testbed.endorse_everywhere(writer_proposal)
+    )
+    testbed.deliver(make_block(testbed, [reader_tx, writer_tx]))
+    assert testbed.notifications["reader"] is TxOutcome.COMMITTED
+    assert testbed.notifications["writer"] is TxOutcome.COMMITTED
+
+
+def test_cross_block_staleness_detected(testbed):
+    p1 = testbed.proposal("p1")
+    tx1 = testbed.make_transaction(p1, testbed.endorse_everywhere(p1))
+    # p2 simulates against the same (pre-block-1) state...
+    p2 = testbed.proposal("p2")
+    tx2 = testbed.make_transaction(p2, testbed.endorse_everywhere(p2))
+    # ...but commits only in block 2, after block 1 updated k.
+    testbed.deliver(make_block(testbed, [tx1]))
+    tip = testbed.peers[0].channels["ch0"].ledger.tip_hash
+    testbed.deliver(make_block(testbed, [tx2], block_id=2, previous=tip))
+    assert testbed.notifications["p1"] is TxOutcome.COMMITTED
+    assert testbed.notifications["p2"] is TxOutcome.ABORT_MVCC
+
+
+def test_tampered_write_set_fails_policy(testbed):
+    """Appendix A.3.1: a client swapping in a different write set is caught."""
+    proposal = testbed.proposal("p1")
+    replies = testbed.endorse_everywhere(proposal)
+    honest = replies[0].endorsement.rwset
+    forged = honest.copy()
+    forged.record_write("k", 1_000_000)  # the malicious write set
+    tx = testbed.make_transaction(proposal, replies)
+    tx.rwset = forged  # signatures still cover the honest rwset
+    testbed.deliver(make_block(testbed, [tx]))
+    assert testbed.notifications["p1"] is TxOutcome.ABORT_POLICY
+    assert testbed.peers[0].channels["ch0"].state.get_value("k") == 0
+
+
+def test_missing_org_endorsement_fails_policy(testbed):
+    proposal = testbed.proposal("p1")
+    replies = testbed.endorse_everywhere(proposal)
+    tx = testbed.make_transaction(proposal, replies[:1])  # only OrgA
+    testbed.deliver(make_block(testbed, [tx]))
+    assert testbed.notifications["p1"] is TxOutcome.ABORT_POLICY
+
+
+def test_misattributed_org_fails_policy(testbed):
+    """An endorsement claiming the wrong org is rejected."""
+    proposal = testbed.proposal("p1")
+    replies = testbed.endorse_everywhere(proposal)
+    tx = testbed.make_transaction(proposal, replies)
+    from repro.fabric.transaction import Endorsement
+
+    fake = tx.endorsements[1]
+    tx.endorsements[1] = Endorsement(
+        fake.endorser, "OrgB", fake.rwset, tx.endorsements[0].signature
+    )
+    testbed.deliver(make_block(testbed, [tx]))
+    assert testbed.notifications["p1"] is TxOutcome.ABORT_POLICY
+
+
+def test_fabricpp_simulation_aborts_on_stale_read():
+    """With early_abort_simulation, a commit landing between the start of
+    the simulation phase and chaincode execution aborts the proposal."""
+    config = replace(
+        FabricConfig(), num_orgs=2, peers_per_org=1, early_abort_simulation=True
+    )
+    bed = TestBed(config=config, initial={"k": 0})
+
+    class SlowCounter(bed.chaincodes.lookup("counter").__class__):
+        name = "slow_counter"
+
+        def operation_count(self, function, args):
+            # Stretch the simulated execution window past block validation
+            # so the conflicting commit lands mid-simulation.
+            return 10_000
+
+    bed.chaincodes.install(SlowCounter())
+    # Start an endorsement, and deliver a conflicting block mid-simulation.
+    proposal = replace(bed.proposal("p1"), chaincode="slow_counter")
+    handles = [peer.endorse("ch0", proposal) for peer in bed.peers]
+
+    p0 = bed.proposal("p0")
+    tx0_rwset = ReadWriteSet()
+    tx0_rwset.record_read("k", Version(0, 0))
+    tx0_rwset.record_write("k", 42)
+    tx0 = bed.make_transaction(
+        p0,
+        [
+            type("R", (), {"endorsement": bed.forge_endorsement(p0, tx0_rwset, peer),
+                           "early_aborted": False})()
+            for peer in bed.peers
+        ],
+    )
+    from repro.ledger.block import Block
+    from repro.ledger.ledger import GENESIS_HASH
+
+    block = Block.create(1, GENESIS_HASH, [tx0])
+    for peer in bed.peers:
+        peer.deliver_block("ch0", block)
+    bed.env.run()
+    replies = [handle.value for handle in handles]
+    # The block committed k during the endorsement window -> early abort.
+    assert any(reply.early_aborted for reply in replies)
+    stale = [r for r in replies if r.early_aborted][0]
+    assert stale.stale_key == "k"
+
+
+def test_vanilla_simulation_never_early_aborts(testbed):
+    proposal = testbed.proposal("p1")
+    replies = testbed.endorse_everywhere(proposal)
+    assert all(not reply.early_aborted for reply in replies)
+
+
+def test_reference_peer_records_blocks(testbed):
+    proposal = testbed.proposal("p1")
+    tx = testbed.make_transaction(proposal, testbed.endorse_everywhere(proposal))
+    testbed.deliver(make_block(testbed, [tx]))
+    assert testbed.metrics.blocks_committed == 1
+    assert testbed.metrics.block_sizes == [1]

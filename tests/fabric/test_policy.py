@@ -1,0 +1,81 @@
+"""Unit tests for endorsement policies."""
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.fabric.policy import AllOrgs, AnyOrg, OutOf, RequireOrg
+
+
+def test_require_org():
+    policy = RequireOrg("OrgA")
+    assert policy.satisfied_by(frozenset(["OrgA"]))
+    assert policy.satisfied_by(frozenset(["OrgA", "OrgB"]))
+    assert not policy.satisfied_by(frozenset(["OrgB"]))
+    assert policy.required_orgs() == {"OrgA"}
+
+
+def test_and_policy():
+    policy = AllOrgs("OrgA", "OrgB")
+    assert policy.satisfied_by(frozenset(["OrgA", "OrgB"]))
+    assert not policy.satisfied_by(frozenset(["OrgA"]))
+    assert policy.required_orgs() == {"OrgA", "OrgB"}
+
+
+def test_or_policy():
+    policy = AnyOrg("OrgA", "OrgB")
+    assert policy.satisfied_by(frozenset(["OrgA"]))
+    assert policy.satisfied_by(frozenset(["OrgB"]))
+    assert not policy.satisfied_by(frozenset(["OrgC"]))
+    assert len(policy.required_orgs()) == 1
+
+
+def test_out_of_policy():
+    policy = OutOf(2, ["OrgA", "OrgB", "OrgC"])
+    assert policy.satisfied_by(frozenset(["OrgA", "OrgC"]))
+    assert not policy.satisfied_by(frozenset(["OrgB"]))
+    assert len(policy.required_orgs()) == 2
+
+
+def test_out_of_bounds_rejected():
+    with pytest.raises(PolicyError):
+        OutOf(0, ["OrgA"])
+    with pytest.raises(PolicyError):
+        OutOf(3, ["OrgA", "OrgB"])
+
+
+def test_nested_policy():
+    # (A AND B) OR C
+    policy = AnyOrg(AllOrgs("OrgA", "OrgB"), RequireOrg("OrgC"))
+    assert policy.satisfied_by(frozenset(["OrgC"]))
+    assert policy.satisfied_by(frozenset(["OrgA", "OrgB"]))
+    assert not policy.satisfied_by(frozenset(["OrgA"]))
+    # Cheapest path is just OrgC.
+    assert policy.required_orgs() == {"OrgC"}
+
+
+def test_mentioned_orgs():
+    policy = AnyOrg(AllOrgs("OrgA", "OrgB"), RequireOrg("OrgC"))
+    assert policy.mentioned_orgs() == {"OrgA", "OrgB", "OrgC"}
+
+
+def test_empty_combinators_rejected():
+    with pytest.raises(PolicyError):
+        AllOrgs()
+    with pytest.raises(PolicyError):
+        AnyOrg()
+
+
+def test_non_policy_operand_rejected():
+    with pytest.raises(PolicyError):
+        AllOrgs(42)
+
+
+def test_string_shorthand():
+    policy = AllOrgs("OrgA", RequireOrg("OrgB"))
+    assert policy.satisfied_by(frozenset(["OrgA", "OrgB"]))
+
+
+def test_repr_round_trip_readability():
+    policy = OutOf(1, [AllOrgs("A", "B")])
+    assert "OutOf(1" in repr(policy)
+    assert "AND" in repr(policy)

@@ -1,0 +1,139 @@
+"""Unit tests for the directed-graph container."""
+
+import pytest
+
+from repro.graphalgo import DiGraph
+
+
+def test_empty_graph():
+    graph = DiGraph()
+    assert len(graph) == 0
+    assert graph.nodes() == []
+    assert graph.edges() == []
+    assert graph.num_edges() == 0
+
+
+def test_add_node_idempotent():
+    graph = DiGraph()
+    graph.add_node("a")
+    graph.add_node("a")
+    assert len(graph) == 1
+
+
+def test_add_edge_creates_nodes():
+    graph = DiGraph()
+    graph.add_edge(1, 2)
+    assert 1 in graph
+    assert 2 in graph
+    assert graph.has_edge(1, 2)
+    assert not graph.has_edge(2, 1)
+
+
+def test_duplicate_edge_counted_once():
+    graph = DiGraph()
+    graph.add_edge(1, 2)
+    graph.add_edge(1, 2)
+    assert graph.num_edges() == 1
+
+
+def test_successors_and_predecessors():
+    graph = DiGraph()
+    graph.add_edge("a", "b")
+    graph.add_edge("a", "c")
+    graph.add_edge("d", "b")
+    assert graph.successors("a") == {"b", "c"}
+    assert graph.predecessors("b") == {"a", "d"}
+    assert graph.successors("b") == set()
+
+
+def test_degrees():
+    graph = DiGraph()
+    graph.add_edge(1, 2)
+    graph.add_edge(3, 2)
+    graph.add_edge(2, 4)
+    assert graph.in_degree(2) == 2
+    assert graph.out_degree(2) == 1
+    assert graph.in_degree(1) == 0
+
+
+def test_self_loop():
+    graph = DiGraph()
+    graph.add_edge("x", "x")
+    assert graph.has_edge("x", "x")
+    assert graph.in_degree("x") == 1
+    assert graph.out_degree("x") == 1
+
+
+def test_remove_node_cleans_edges():
+    graph = DiGraph()
+    graph.add_edge(1, 2)
+    graph.add_edge(2, 3)
+    graph.add_edge(3, 1)
+    graph.remove_node(2)
+    assert 2 not in graph
+    assert not graph.has_edge(1, 2)
+    assert graph.has_edge(3, 1)
+    assert graph.successors(1) == set()
+    assert graph.predecessors(1) == {3}
+
+
+def test_remove_node_with_self_loop():
+    graph = DiGraph()
+    graph.add_edge(1, 1)
+    graph.add_edge(1, 2)
+    graph.remove_node(1)
+    assert 1 not in graph
+    assert graph.predecessors(2) == set()
+
+
+def test_subgraph_induces_edges():
+    graph = DiGraph()
+    graph.add_edge(1, 2)
+    graph.add_edge(2, 3)
+    graph.add_edge(3, 1)
+    sub = graph.subgraph([1, 2])
+    assert sorted(sub.nodes()) == [1, 2]
+    assert sub.has_edge(1, 2)
+    assert not sub.has_edge(2, 3)
+    assert sub.num_edges() == 1
+
+
+def test_subgraph_is_independent_copy():
+    graph = DiGraph()
+    graph.add_edge(1, 2)
+    sub = graph.subgraph([1, 2])
+    sub.add_edge(2, 1)
+    assert not graph.has_edge(2, 1)
+
+
+def test_copy_is_deep_for_structure():
+    graph = DiGraph()
+    graph.add_edge("a", "b")
+    clone = graph.copy()
+    clone.add_edge("b", "a")
+    assert not graph.has_edge("b", "a")
+    assert clone.has_edge("a", "b")
+
+
+def test_nodes_keep_insertion_order():
+    graph = DiGraph()
+    for node in ["z", "m", "a"]:
+        graph.add_node(node)
+    assert graph.nodes() == ["z", "m", "a"]
+
+
+def test_iteration_matches_nodes():
+    graph = DiGraph([3, 1, 2])
+    assert list(graph) == [3, 1, 2]
+
+
+def test_constructor_with_nodes():
+    graph = DiGraph(range(5))
+    assert len(graph) == 5
+    assert graph.num_edges() == 0
+
+
+def test_successors_of_unknown_node_raises():
+    graph = DiGraph()
+    with pytest.raises(KeyError):
+        graph.successors("missing")

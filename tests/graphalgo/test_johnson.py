@@ -1,0 +1,142 @@
+"""Unit tests for Johnson's elementary-cycle enumeration."""
+
+from repro.graphalgo import DiGraph, simple_cycles
+
+
+def cycles_as_sets(graph, **kwargs):
+    return {frozenset(c) for c in simple_cycles(graph, **kwargs)}
+
+
+def canonical(cycle):
+    """Rotate a cycle so its smallest element comes first."""
+    pivot = cycle.index(min(cycle))
+    return tuple(cycle[pivot:] + cycle[:pivot])
+
+
+def test_empty_graph_has_no_cycles():
+    assert list(simple_cycles(DiGraph())) == []
+
+
+def test_acyclic_graph_has_no_cycles():
+    graph = DiGraph()
+    graph.add_edge(1, 2)
+    graph.add_edge(2, 3)
+    graph.add_edge(1, 3)
+    assert list(simple_cycles(graph)) == []
+
+
+def test_self_loop_is_a_cycle():
+    graph = DiGraph()
+    graph.add_edge("a", "a")
+    assert list(simple_cycles(graph)) == [["a"]]
+
+
+def test_two_cycle():
+    graph = DiGraph()
+    graph.add_edge(1, 2)
+    graph.add_edge(2, 1)
+    assert cycles_as_sets(graph) == {frozenset([1, 2])}
+
+
+def test_triangle():
+    graph = DiGraph()
+    graph.add_edge(1, 2)
+    graph.add_edge(2, 3)
+    graph.add_edge(3, 1)
+    cycles = list(simple_cycles(graph))
+    assert len(cycles) == 1
+    assert canonical(cycles[0]) == (1, 2, 3)
+
+
+def test_two_triangles_sharing_a_node():
+    graph = DiGraph()
+    for a, b in [(1, 2), (2, 3), (3, 1), (1, 4), (4, 5), (5, 1)]:
+        graph.add_edge(a, b)
+    assert cycles_as_sets(graph) == {frozenset([1, 2, 3]), frozenset([1, 4, 5])}
+
+
+def test_complete_graph_k3_has_five_cycles():
+    """K3 with all 6 directed edges: three 2-cycles and two 3-cycles."""
+    graph = DiGraph()
+    for a in range(3):
+        for b in range(3):
+            if a != b:
+                graph.add_edge(a, b)
+    cycles = [canonical(c) for c in simple_cycles(graph)]
+    assert len(cycles) == 5
+    assert len(set(cycles)) == 5
+    lengths = sorted(len(c) for c in cycles)
+    assert lengths == [2, 2, 2, 3, 3]
+
+
+def test_complete_graph_k4_cycle_count():
+    """K4 has 6 two-cycles + 8 three-cycles + 6 four-cycles = 20."""
+    graph = DiGraph()
+    for a in range(4):
+        for b in range(4):
+            if a != b:
+                graph.add_edge(a, b)
+    cycles = [canonical(c) for c in simple_cycles(graph)]
+    assert len(cycles) == 20
+    assert len(set(cycles)) == 20
+
+
+def test_paper_table3_cycles(table3):
+    """The conflict graph of Table 3 contains exactly c1, c2, c3."""
+    from repro.core.conflict_graph import build_conflict_graph
+
+    cycles = cycles_as_sets(build_conflict_graph(table3))
+    assert cycles == {
+        frozenset([0, 3]),        # c1 = T0 -> T3 -> T0
+        frozenset([0, 3, 1]),     # c2 = T0 -> T3 -> T1 -> T0
+        frozenset([2, 4]),        # c3 = T2 -> T4 -> T2
+    }
+
+
+def test_max_cycles_caps_enumeration():
+    graph = DiGraph()
+    for a in range(5):
+        for b in range(5):
+            if a != b:
+                graph.add_edge(a, b)
+    capped = list(simple_cycles(graph, max_cycles=7))
+    assert len(capped) == 7
+
+
+def test_cycles_are_elementary():
+    """No node may repeat within one reported cycle."""
+    graph = DiGraph()
+    edges = [(0, 1), (1, 2), (2, 0), (2, 3), (3, 0), (1, 3)]
+    for a, b in edges:
+        graph.add_edge(a, b)
+    for cycle in simple_cycles(graph):
+        assert len(cycle) == len(set(cycle))
+
+
+def test_cycle_edges_exist():
+    graph = DiGraph()
+    edges = [(0, 1), (1, 2), (2, 0), (2, 3), (3, 1)]
+    for a, b in edges:
+        graph.add_edge(a, b)
+    for cycle in simple_cycles(graph):
+        for i, node in enumerate(cycle):
+            successor = cycle[(i + 1) % len(cycle)]
+            assert graph.has_edge(node, successor)
+
+
+def test_long_single_cycle():
+    n = 500
+    graph = DiGraph()
+    for i in range(n):
+        graph.add_edge(i, (i + 1) % n)
+    cycles = list(simple_cycles(graph))
+    assert len(cycles) == 1
+    assert len(cycles[0]) == n
+
+
+def test_figure_eight():
+    """Two cycles sharing one node, plus the figure-eight is NOT elementary."""
+    graph = DiGraph()
+    for a, b in [("a", "b"), ("b", "a"), ("a", "c"), ("c", "a")]:
+        graph.add_edge(a, b)
+    assert cycles_as_sets(graph) == {frozenset(["a", "b"]), frozenset(["a", "c"])}

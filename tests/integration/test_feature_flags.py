@@ -1,0 +1,100 @@
+"""Tests of the Fabric++ optimization flags in isolation (Figure 10 logic)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.batch_cutter import BatchCutConfig
+from repro.fabric.config import FabricConfig
+from repro.fabric.metrics import TxOutcome
+from repro.fabric.network import FabricNetwork
+from repro.workloads.custom import CustomWorkload, CustomWorkloadParams
+
+HOT_PARAMS = CustomWorkloadParams(
+    num_accounts=1000,
+    reads_writes=4,
+    prob_hot_read=0.4,
+    prob_hot_write=0.1,
+    hot_set_fraction=0.01,
+)
+
+
+def config(**kwargs):
+    defaults = dict(
+        clients_per_channel=2,
+        client_rate=150.0,
+        client_window=128,
+        batch=BatchCutConfig(max_transactions=128),
+    )
+    defaults.update(kwargs)
+    return replace(FabricConfig(), **defaults)
+
+
+def run(cfg, seed=3, duration=2.0):
+    return FabricNetwork(cfg, CustomWorkload(HOT_PARAMS, seed=seed)).run(
+        duration=duration
+    )
+
+
+def test_vanilla_produces_no_early_aborts():
+    metrics = run(config())
+    assert metrics.outcomes[TxOutcome.EARLY_ABORT_SIM] == 0
+    assert metrics.outcomes[TxOutcome.EARLY_ABORT_CYCLE] == 0
+    assert metrics.outcomes[TxOutcome.EARLY_ABORT_VERSION] == 0
+
+
+def test_reordering_only_produces_cycle_aborts_only():
+    metrics = run(config(reordering=True))
+    assert metrics.outcomes[TxOutcome.EARLY_ABORT_CYCLE] > 0
+    assert metrics.outcomes[TxOutcome.EARLY_ABORT_VERSION] == 0
+    assert metrics.outcomes[TxOutcome.EARLY_ABORT_SIM] == 0
+
+
+def test_early_abort_only_produces_no_cycle_aborts():
+    metrics = run(
+        config(early_abort_simulation=True, early_abort_ordering=True)
+    )
+    assert metrics.outcomes[TxOutcome.EARLY_ABORT_CYCLE] == 0
+
+
+def test_reordering_reduces_mvcc_aborts():
+    vanilla = run(config())
+    reordered = run(config(reordering=True))
+    assert (
+        reordered.outcomes[TxOutcome.ABORT_MVCC]
+        < vanilla.outcomes[TxOutcome.ABORT_MVCC]
+    )
+
+
+def test_each_optimization_alone_helps():
+    """Figure 10's qualitative content at small scale: reordering alone
+    and the combined system clearly beat vanilla. Early abort alone is
+    roughly success-neutral at *unsaturated* load (it only relabels
+    doomed transactions earlier); its standalone throughput win needs the
+    saturated pipeline of the full-scale Figure 10 benchmark
+    (benchmarks/bench_fig10_breakdown.py), where it shortens the
+    staleness window."""
+    vanilla = run(config()).successful
+    only_reorder = run(config(reordering=True)).successful
+    only_early = run(
+        config(early_abort_simulation=True, early_abort_ordering=True)
+    ).successful
+    both = run(config().with_fabric_plus_plus()).successful
+    assert only_reorder > vanilla
+    assert only_early > 0.85 * vanilla
+    assert both > vanilla
+
+
+def test_combined_flags_commit_more_than_vanilla_by_margin():
+    vanilla = run(config()).successful
+    both = run(config().with_fabric_plus_plus()).successful
+    assert both > 1.2 * vanilla
+
+
+def test_committed_schedule_respects_reordering():
+    """With reordering on, within-block MVCC aborts should be rare: the
+    orderer already serialized the block."""
+    metrics = run(config(reordering=True, early_abort_ordering=True))
+    # Remaining MVCC aborts come only from cross-block staleness that the
+    # within-block filter cannot see (single reader of a hot key).
+    assert metrics.outcomes[TxOutcome.ABORT_MVCC] < metrics.successful

@@ -1,0 +1,93 @@
+"""Tests for gossip block dissemination and latency percentiles."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.batch_cutter import BatchCutConfig
+from repro.fabric.config import FabricConfig
+from repro.fabric.metrics import LatencyStats
+from repro.fabric.network import FabricNetwork
+from repro.workloads.blank import BlankWorkload
+from repro.workloads.custom import CustomWorkload, CustomWorkloadParams
+
+
+def small_config(**kwargs):
+    defaults = dict(
+        clients_per_channel=1,
+        client_rate=100.0,
+        client_window=64,
+        batch=BatchCutConfig(max_transactions=32),
+    )
+    defaults.update(kwargs)
+    return replace(FabricConfig(), **defaults)
+
+
+# -- gossip dissemination --------------------------------------------------------
+
+
+def test_leader_peers_receive_blocks_before_gossip_peers():
+    """Org leaders get blocks from the orderer directly; the second peer
+    of each org receives them one gossip hop later."""
+    config = small_config()
+    network = FabricNetwork(config, BlankWorkload())
+    arrival_times = {}
+
+    original_deliver = {}
+    for peer in network.peers:
+        original_deliver[peer.name] = peer.deliver_block
+
+        def spy(channel, block, peer=peer):
+            arrival_times.setdefault(block.block_id, {})[peer.name] = (
+                network.env.now
+            )
+            original_deliver[peer.name](channel, block)
+
+        peer.deliver_block = spy
+
+    network.run(duration=1.0)
+    assert arrival_times, "no blocks were distributed"
+    hop = config.costs.gossip_hop
+    for per_peer in arrival_times.values():
+        assert per_peer["peer1.OrgA"] - per_peer["peer0.OrgA"] == pytest.approx(hop)
+        assert per_peer["peer1.OrgB"] - per_peer["peer0.OrgB"] == pytest.approx(hop)
+
+
+def test_gossip_preserves_block_order_and_state_convergence():
+    workload = CustomWorkload(
+        CustomWorkloadParams(num_accounts=300, hot_set_fraction=0.05), seed=1
+    )
+    network = FabricNetwork(small_config(clients_per_channel=2), workload)
+    network.run(duration=1.5, drain=5.0)
+    reference = network.peers[0].channels["ch0"]
+    for peer in network.peers[1:]:
+        channel_state = peer.channels["ch0"]
+        assert channel_state.ledger.height == reference.ledger.height
+        assert channel_state.ledger.tip_hash == reference.ledger.tip_hash
+        assert channel_state.state.last_block_id == reference.state.last_block_id
+
+
+# -- latency percentiles ------------------------------------------------------------
+
+
+def test_percentiles_ordering():
+    samples = [float(i) for i in range(1, 101)]
+    stats = LatencyStats.from_samples(samples)
+    assert stats.p50 <= stats.p95 <= stats.p99 <= stats.maximum
+    assert stats.minimum <= stats.p50
+    assert 49 <= stats.p50 <= 52
+    assert 94 <= stats.p95 <= 97
+    assert 98 <= stats.p99 <= 100
+
+
+def test_percentiles_single_sample():
+    stats = LatencyStats.from_samples([0.5])
+    assert stats.p50 == stats.p95 == stats.p99 == 0.5
+
+
+def test_percentiles_from_run():
+    network = FabricNetwork(small_config(), BlankWorkload())
+    metrics = network.run(duration=2.0)
+    stats = metrics.latency()
+    assert stats is not None
+    assert stats.minimum <= stats.p50 <= stats.p99 <= stats.maximum

@@ -1,0 +1,113 @@
+"""Unit tests for the versioned state database."""
+
+import pytest
+
+from repro.errors import StateError
+from repro.ledger.state_db import GENESIS_VERSION, StateDatabase, Version
+
+
+def test_empty_db():
+    db = StateDatabase()
+    assert len(db) == 0
+    assert db.get("missing") is None
+    assert db.get_value("missing") is None
+    assert db.get_value("missing", default=7) == 7
+    assert db.get_version("missing") is None
+    assert db.last_block_id == 0
+
+
+def test_populate_sets_genesis_version():
+    db = StateDatabase()
+    db.populate({"a": 1, "b": 2})
+    assert db.get_value("a") == 1
+    assert db.get_version("a") == GENESIS_VERSION
+    assert "b" in db
+    assert len(db) == 2
+
+
+def test_populate_after_block_rejected():
+    db = StateDatabase()
+    db.apply_block_writes(1, [(0, {"x": 1})])
+    with pytest.raises(StateError):
+        db.populate({"a": 1})
+
+
+def test_apply_block_writes_stamps_versions():
+    db = StateDatabase()
+    db.apply_block_writes(1, [(0, {"a": 10}), (3, {"b": 20})])
+    assert db.get("a").value == 10
+    assert db.get("a").version == Version(1, 0)
+    assert db.get("b").version == Version(1, 3)
+    assert db.last_block_id == 1
+
+
+def test_apply_blocks_must_be_in_order():
+    db = StateDatabase()
+    db.apply_block_writes(1, [])
+    with pytest.raises(StateError):
+        db.apply_block_writes(1, [])
+    with pytest.raises(StateError):
+        db.apply_block_writes(0, [])
+    db.apply_block_writes(2, [])
+    assert db.last_block_id == 2
+
+
+def test_later_tx_in_block_overwrites_earlier():
+    db = StateDatabase()
+    db.apply_block_writes(1, [(0, {"k": "first"}), (1, {"k": "second"})])
+    assert db.get_value("k") == "second"
+    assert db.get_version("k") == Version(1, 1)
+
+
+def test_read_is_current_matches_version():
+    db = StateDatabase()
+    db.populate({"a": 1})
+    assert db.read_is_current("a", GENESIS_VERSION)
+    db.apply_block_writes(1, [(0, {"a": 2})])
+    assert not db.read_is_current("a", GENESIS_VERSION)
+    assert db.read_is_current("a", Version(1, 0))
+
+
+def test_read_is_current_for_absent_key():
+    db = StateDatabase()
+    assert db.read_is_current("ghost", None)
+    db.apply_block_writes(1, [(0, {"ghost": 1})])
+    assert not db.read_is_current("ghost", None)
+
+
+def test_snapshot_is_frozen():
+    db = StateDatabase()
+    db.populate({"a": 1})
+    snap = db.snapshot()
+    db.apply_block_writes(1, [(0, {"a": 2, "b": 3})])
+    assert snap.get("a").value == 1
+    assert "b" not in snap
+    assert snap.last_block_id == 0
+    assert db.get_value("a") == 2
+
+
+def test_snapshot_length():
+    db = StateDatabase()
+    db.populate({"a": 1, "b": 2})
+    assert len(db.snapshot()) == 2
+
+
+def test_apply_write_single():
+    db = StateDatabase()
+    db.apply_write("k", 5, Version(2, 7))
+    assert db.get_version("k") == Version(2, 7)
+
+
+def test_version_ordering_matches_commit_order():
+    assert Version(1, 5) < Version(2, 0)
+    assert Version(2, 1) < Version(2, 2)
+    assert Version(3, 0) > Version(2, 999)
+    assert Version(1, 1) == Version(1, 1)
+
+
+def test_keys_and_items_iteration():
+    db = StateDatabase()
+    db.populate({"a": 1, "b": 2})
+    assert sorted(db.keys()) == ["a", "b"]
+    items = dict(db.items())
+    assert items["a"].value == 1

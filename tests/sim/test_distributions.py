@@ -1,0 +1,99 @@
+"""Unit and statistical tests for the random distributions."""
+
+import pytest
+
+from repro.sim.distributions import Rng, ZipfSampler
+
+
+def test_rng_deterministic_from_seed():
+    a = Rng(7)
+    b = Rng(7)
+    assert [a.randint(0, 100) for _ in range(10)] == [
+        b.randint(0, 100) for _ in range(10)
+    ]
+
+
+def test_rng_different_seeds_differ():
+    a = [Rng(1).randint(0, 10**9) for _ in range(3)]
+    b = [Rng(2).randint(0, 10**9) for _ in range(3)]
+    assert a != b
+
+
+def test_bernoulli_extremes():
+    rng = Rng(0)
+    assert not any(rng.bernoulli(0.0) for _ in range(100))
+    assert all(rng.bernoulli(1.0) for _ in range(100))
+
+
+def test_sample_distinct():
+    rng = Rng(3)
+    sample = rng.sample_distinct(100, 10)
+    assert len(sample) == 10
+    assert len(set(sample)) == 10
+    assert all(0 <= x < 100 for x in sample)
+
+
+def test_exponential_positive():
+    rng = Rng(4)
+    draws = [rng.exponential(0.5) for _ in range(100)]
+    assert all(d > 0 for d in draws)
+    assert 0.3 < sum(draws) / len(draws) < 0.8
+
+
+def test_zipf_validation():
+    with pytest.raises(ValueError):
+        ZipfSampler(0, 1.0)
+    with pytest.raises(ValueError):
+        ZipfSampler(10, -0.5)
+
+
+def test_zipf_s_zero_is_uniform():
+    sampler = ZipfSampler(1000, 0.0, Rng(1))
+    draws = [sampler.sample() for _ in range(20_000)]
+    assert all(0 <= d < 1000 for d in draws)
+    # Chi-square-ish sanity: the most popular item under uniformity over
+    # 1000 bins with 20k draws should not exceed ~3x the expectation.
+    counts = {}
+    for d in draws:
+        counts[d] = counts.get(d, 0) + 1
+    assert max(counts.values()) < 60
+
+
+def test_zipf_skew_concentrates_mass():
+    sampler = ZipfSampler(1000, 2.0, Rng(2))
+    draws = [sampler.sample() for _ in range(20_000)]
+    counts = {}
+    for d in draws:
+        counts[d] = counts.get(d, 0) + 1
+    top = max(counts.values()) / len(draws)
+    # Under Zipf s=2 over 1000 items, the top item carries ~61% of mass.
+    assert 0.55 < top < 0.68
+
+
+def test_zipf_rank_probabilities_decrease():
+    sampler = ZipfSampler(100, 1.0, Rng(0))
+    probs = [sampler.probability_of_rank(r) for r in range(100)]
+    assert all(a >= b for a, b in zip(probs, probs[1:]))
+    assert abs(sum(probs) - 1.0) < 1e-9
+
+
+def test_zipf_uniform_rank_probability():
+    sampler = ZipfSampler(50, 0.0)
+    assert sampler.probability_of_rank(0) == pytest.approx(1 / 50)
+
+
+def test_zipf_single_item():
+    sampler = ZipfSampler(1, 1.5, Rng(0))
+    assert sampler.sample() == 0
+
+
+def test_zipf_higher_skew_more_concentration():
+    def top_share(s_value):
+        sampler = ZipfSampler(500, s_value, Rng(5))
+        draws = [sampler.sample() for _ in range(10_000)]
+        counts = {}
+        for d in draws:
+            counts[d] = counts.get(d, 0) + 1
+        return max(counts.values()) / len(draws)
+
+    assert top_share(0.0) < top_share(1.0) < top_share(2.0)

@@ -1,0 +1,205 @@
+"""Edge-case tests for the DES engine and resources."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Environment, Interrupt
+from repro.sim.resources import Resource, RWLock, Store
+
+
+def test_process_yielding_non_event_fails_process():
+    env = Environment()
+
+    def bad():
+        yield 42  # not an event
+
+    handle = env.process(bad())
+    env.run()
+    assert handle.triggered
+    assert handle._exception is not None
+
+
+def test_cross_environment_event_fails_process():
+    env_a = Environment()
+    env_b = Environment()
+    gate = env_b.event()
+    gate.succeed()
+
+    def proc():
+        yield gate
+
+    handle = env_a.process(proc())
+    env_a.run()
+    assert handle.triggered
+    assert isinstance(handle._exception, SimulationError)
+
+
+def test_all_of_propagates_failure():
+    env = Environment()
+    gate = env.event()
+    caught = []
+
+    def proc():
+        try:
+            yield env.all_of([env.timeout(1), gate])
+        except ValueError as error:
+            caught.append(str(error))
+
+    env.process(proc())
+    gate.fail(ValueError("inner failure"))
+    env.run()
+    assert caught == ["inner failure"]
+
+
+def test_interrupt_detaches_from_waited_event():
+    env = Environment()
+    gate = env.event()
+    log = []
+
+    def victim():
+        try:
+            yield gate
+        except Interrupt:
+            log.append("interrupted")
+            yield env.timeout(1)
+            log.append("continued")
+
+    handle = env.process(victim())
+
+    def attacker():
+        yield env.timeout(1)
+        handle.interrupt()
+        # Firing the original event later must NOT resume the victim twice.
+        gate.succeed("late")
+
+    env.process(attacker())
+    env.run()
+    assert log == ["interrupted", "continued"]
+
+
+def test_interrupt_while_holding_resource():
+    env = Environment()
+    cpu = Resource(env, capacity=1)
+    log = []
+
+    def holder():
+        try:
+            yield from cpu.use(100)
+        except Interrupt:
+            log.append(("interrupted", env.now))
+        # `use` released the slot in its finally clause.
+
+    def waiter():
+        yield cpu.request()
+        log.append(("acquired", env.now))
+        cpu.release()
+
+    handle = env.process(holder())
+
+    def attacker():
+        yield env.timeout(5)
+        handle.interrupt()
+
+    env.process(attacker())
+    env.process(waiter())
+    env.run()
+    assert ("interrupted", 5) in log
+    assert ("acquired", 5) in log  # slot recycled on interrupt
+
+
+def test_resource_priority_bands():
+    env = Environment()
+    cpu = Resource(env, capacity=1)
+    order = []
+
+    def holder():
+        yield from cpu.use(1)
+
+    def request(tag, priority, delay):
+        yield env.timeout(delay)
+        yield cpu.request(priority)
+        order.append(tag)
+        cpu.release()
+
+    env.process(holder())
+    env.process(request("low", 10, 0.1))
+    env.process(request("high", 0, 0.2))  # arrives later, served first
+    env.run()
+    assert order == ["high", "low"]
+
+
+def test_resource_same_priority_fifo():
+    env = Environment()
+    cpu = Resource(env, capacity=1)
+    order = []
+
+    def holder():
+        yield from cpu.use(1)
+
+    def request(tag, delay):
+        yield env.timeout(delay)
+        yield cpu.request(5)
+        order.append(tag)
+        cpu.release()
+
+    env.process(holder())
+    env.process(request("first", 0.1))
+    env.process(request("second", 0.2))
+    env.run()
+    assert order == ["first", "second"]
+
+
+def test_rwlock_multiple_writers_queue():
+    env = Environment()
+    lock = RWLock(env)
+    log = []
+
+    def writer(tag, hold):
+        yield lock.acquire_write()
+        log.append((tag, env.now))
+        yield env.timeout(hold)
+        lock.release_write()
+
+    env.process(writer("w1", 3))
+    env.process(writer("w2", 2))
+    env.run()
+    assert log == [("w1", 0), ("w2", 3)]
+
+
+def test_store_interleaved_put_get():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer():
+        while True:
+            item = yield store.get()
+            got.append((item, env.now))
+            if item == "stop":
+                return
+
+    def producer():
+        store.put("a")
+        yield env.timeout(1)
+        store.put("b")
+        yield env.timeout(1)
+        store.put("stop")
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert [item for item, _ in got] == ["a", "b", "stop"]
+
+
+def test_timeout_zero_fires_immediately_in_order():
+    env = Environment()
+    log = []
+
+    def proc(tag):
+        yield env.timeout(0)
+        log.append(tag)
+
+    env.process(proc("a"))
+    env.process(proc("b"))
+    env.run()
+    assert log == ["a", "b"]

@@ -1,0 +1,102 @@
+"""Tests for the sampling monitor."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.batch_cutter import BatchCutConfig
+from repro.errors import SimulationError
+from repro.fabric.config import FabricConfig
+from repro.fabric.network import FabricNetwork
+from repro.sim.engine import Environment
+from repro.sim.monitor import Sampler, attach_network_probes
+from repro.workloads.blank import BlankWorkload
+
+
+def test_interval_validation():
+    with pytest.raises(SimulationError):
+        Sampler(Environment(), interval=0)
+
+
+def test_duplicate_probe_rejected():
+    sampler = Sampler(Environment())
+    sampler.watch("x", lambda: 1)
+    with pytest.raises(SimulationError):
+        sampler.watch("x", lambda: 2)
+
+
+def test_sampling_cadence():
+    env = Environment()
+    sampler = Sampler(env, interval=0.5)
+    counter = {"value": 0}
+
+    def probe():
+        counter["value"] += 1
+        return counter["value"]
+
+    sampler.watch("count", probe)
+    sampler.start()
+    env.run(until=2.0)
+    times = [tick["t"] for tick in sampler.samples]
+    assert times == [0.5, 1.0, 1.5, 2.0]
+    assert sampler.series("count") == [1, 2, 3, 4]
+
+
+def test_start_idempotent():
+    env = Environment()
+    sampler = Sampler(env, interval=1.0)
+    sampler.watch("x", lambda: 7)
+    sampler.start()
+    sampler.start()
+    env.run(until=3.0)
+    assert len(sampler.samples) == 3  # not doubled
+
+
+def test_statistics():
+    env = Environment()
+    sampler = Sampler(env, interval=1.0)
+    values = iter([1.0, 5.0, 3.0])
+    sampler.watch("x", lambda: next(values))
+    sampler.start()
+    env.run(until=3.0)
+    assert sampler.peak("x") == 5.0
+    assert sampler.average("x") == pytest.approx(3.0)
+
+
+def test_empty_probe_statistics():
+    sampler = Sampler(Environment())
+    sampler.watch("never", lambda: 1)
+    assert sampler.peak("never") == 0.0
+    assert sampler.average("never") == 0.0
+
+
+def test_summary_sorted_by_average():
+    env = Environment()
+    sampler = Sampler(env, interval=1.0)
+    sampler.watch("low", lambda: 1.0)
+    sampler.watch("high", lambda: 10.0)
+    sampler.start()
+    env.run(until=2.0)
+    summary = sampler.summary()
+    assert summary[0]["probe"] == "high"
+    assert summary[0]["peak"] == 10.0
+
+
+def test_network_probes_record_activity():
+    config = replace(
+        FabricConfig(),
+        clients_per_channel=1,
+        client_rate=100.0,
+        batch=BatchCutConfig(max_transactions=32),
+    )
+    network = FabricNetwork(config, BlankWorkload())
+    sampler = Sampler(network.env, interval=0.05)
+    attach_network_probes(sampler, network)
+    sampler.start()
+    network.run(duration=1.0)
+    assert sampler.samples
+    # The orderer batch probe must have seen pending transactions.
+    assert sampler.peak("orderer.ch0.batch") > 0
+    # Peer CPUs were busy at some point.
+    busy_probes = [name for name in ("peer0.OrgA.cpu_busy",) if sampler.peak(name) > 0]
+    assert busy_probes

@@ -1,0 +1,291 @@
+"""Unit tests for Resource, RWLock, and Store."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Environment
+from repro.sim.resources import Resource, RWLock, Store
+
+
+# -- Resource --------------------------------------------------------------------
+
+
+def test_resource_capacity_validation():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Resource(env, capacity=0)
+
+
+def test_resource_grants_up_to_capacity():
+    env = Environment()
+    cpu = Resource(env, capacity=2)
+    log = []
+
+    def worker(tag):
+        yield cpu.request()
+        log.append(("start", tag, env.now))
+        yield env.timeout(10)
+        cpu.release()
+        log.append(("end", tag, env.now))
+
+    for tag in "abc":
+        env.process(worker(tag))
+    env.run()
+    starts = {tag: t for kind, tag, t in log if kind == "start"}
+    assert starts["a"] == 0
+    assert starts["b"] == 0
+    assert starts["c"] == 10  # had to wait for a slot
+
+
+def test_resource_fifo_order():
+    env = Environment()
+    cpu = Resource(env, capacity=1)
+    order = []
+
+    def worker(tag):
+        yield cpu.request()
+        order.append(tag)
+        yield env.timeout(1)
+        cpu.release()
+
+    for tag in ["first", "second", "third"]:
+        env.process(worker(tag))
+    env.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_resource_release_without_request():
+    env = Environment()
+    cpu = Resource(env, capacity=1)
+    with pytest.raises(SimulationError):
+        cpu.release()
+
+
+def test_resource_use_helper():
+    env = Environment()
+    cpu = Resource(env, capacity=1)
+    log = []
+
+    def worker(tag):
+        yield from cpu.use(5)
+        log.append((tag, env.now))
+
+    env.process(worker("a"))
+    env.process(worker("b"))
+    env.run()
+    assert log == [("a", 5), ("b", 10)]
+    assert cpu.in_use == 0
+
+
+def test_resource_counters():
+    env = Environment()
+    cpu = Resource(env, capacity=1)
+
+    def holder():
+        yield cpu.request()
+        yield env.timeout(5)
+        cpu.release()
+
+    def observer():
+        yield env.timeout(1)
+        assert cpu.in_use == 1
+        assert cpu.queue_length == 1
+
+    def waiter():
+        yield cpu.request()
+        cpu.release()
+
+    env.process(holder())
+    env.process(waiter())
+    env.process(observer())
+    env.run()
+    assert cpu.in_use == 0
+    assert cpu.queue_length == 0
+
+
+# -- RWLock ----------------------------------------------------------------------
+
+
+def test_rwlock_readers_share():
+    env = Environment()
+    lock = RWLock(env)
+    active = []
+
+    def reader(tag):
+        yield lock.acquire_read()
+        active.append(tag)
+        yield env.timeout(5)
+        lock.release_read()
+
+    env.process(reader("r1"))
+    env.process(reader("r2"))
+    env.run(until=1)
+    assert sorted(active) == ["r1", "r2"]
+    assert lock.readers == 2
+
+
+def test_rwlock_writer_excludes_readers():
+    env = Environment()
+    lock = RWLock(env)
+    log = []
+
+    def writer():
+        yield lock.acquire_write()
+        log.append(("w-start", env.now))
+        yield env.timeout(10)
+        lock.release_write()
+        log.append(("w-end", env.now))
+
+    def reader():
+        yield env.timeout(1)  # arrive while the writer holds the lock
+        yield lock.acquire_read()
+        log.append(("r-start", env.now))
+        lock.release_read()
+
+    env.process(writer())
+    env.process(reader())
+    env.run()
+    assert ("w-start", 0) in log
+    assert ("r-start", 10) in log
+
+
+def test_rwlock_writer_waits_for_readers():
+    env = Environment()
+    lock = RWLock(env)
+    log = []
+
+    def reader():
+        yield lock.acquire_read()
+        yield env.timeout(7)
+        lock.release_read()
+
+    def writer():
+        yield env.timeout(1)
+        yield lock.acquire_write()
+        log.append(env.now)
+        lock.release_write()
+
+    env.process(reader())
+    env.process(writer())
+    env.run()
+    assert log == [7]
+
+
+def test_rwlock_waiting_writer_blocks_new_readers():
+    """Writer preference: readers arriving behind a waiting writer queue up."""
+    env = Environment()
+    lock = RWLock(env)
+    log = []
+
+    def early_reader():
+        yield lock.acquire_read()
+        yield env.timeout(5)
+        lock.release_read()
+
+    def writer():
+        yield env.timeout(1)
+        yield lock.acquire_write()
+        log.append(("writer", env.now))
+        yield env.timeout(5)
+        lock.release_write()
+
+    def late_reader():
+        yield env.timeout(2)
+        yield lock.acquire_read()
+        log.append(("late-reader", env.now))
+        lock.release_read()
+
+    env.process(early_reader())
+    env.process(writer())
+    env.process(late_reader())
+    env.run()
+    assert log == [("writer", 5), ("late-reader", 10)]
+
+
+def test_rwlock_release_errors():
+    env = Environment()
+    lock = RWLock(env)
+    with pytest.raises(SimulationError):
+        lock.release_read()
+    with pytest.raises(SimulationError):
+        lock.release_write()
+
+
+# -- Store -----------------------------------------------------------------------
+
+
+def test_store_put_then_get():
+    env = Environment()
+    store = Store(env)
+    store.put("item")
+    got = []
+
+    def getter():
+        item = yield store.get()
+        got.append(item)
+
+    env.process(getter())
+    env.run()
+    assert got == ["item"]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def getter():
+        item = yield store.get()
+        got.append((item, env.now))
+
+    def putter():
+        yield env.timeout(5)
+        store.put("late")
+
+    env.process(getter())
+    env.process(putter())
+    env.run()
+    assert got == [("late", 5)]
+
+
+def test_store_fifo_items():
+    env = Environment()
+    store = Store(env)
+    for item in [1, 2, 3]:
+        store.put(item)
+    got = []
+
+    def getter():
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    env.process(getter())
+    env.run()
+    assert got == [1, 2, 3]
+
+
+def test_store_fifo_getters():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def getter(tag):
+        item = yield store.get()
+        got.append((tag, item))
+
+    env.process(getter("first"))
+    env.process(getter("second"))
+    store.put("x")
+    store.put("y")
+    env.run()
+    assert got == [("first", "x"), ("second", "y")]
+
+
+def test_store_drain():
+    env = Environment()
+    store = Store(env)
+    store.put(1)
+    store.put(2)
+    assert store.drain() == [1, 2]
+    assert len(store) == 0

@@ -1,0 +1,172 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, config_from_args, main, workload_from_args
+from repro.workloads.blank import BlankWorkload
+from repro.workloads.custom import CustomWorkload
+from repro.workloads.smallbank import SmallbankWorkload
+
+
+def parse(argv):
+    return build_parser().parse_args(argv)
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        parse([])
+
+
+def test_parser_rejects_unknown_workload():
+    with pytest.raises(SystemExit):
+        parse(["run", "--workload", "tpcc"])
+
+
+def test_workload_selection():
+    assert isinstance(
+        workload_from_args(parse(["run", "--workload", "smallbank"])),
+        SmallbankWorkload,
+    )
+    assert isinstance(
+        workload_from_args(parse(["run", "--workload", "custom"])),
+        CustomWorkload,
+    )
+    assert isinstance(
+        workload_from_args(parse(["run", "--workload", "blank"])),
+        BlankWorkload,
+    )
+
+
+def test_smallbank_knobs_forwarded():
+    args = parse(
+        ["run", "--workload", "smallbank", "--users", "500",
+         "--prob-write", "0.5", "--s-value", "1.2"]
+    )
+    workload = workload_from_args(args)
+    assert workload.params.num_users == 500
+    assert workload.params.prob_write == 0.5
+    assert workload.params.s_value == 1.2
+
+
+def test_custom_knobs_forwarded():
+    args = parse(
+        ["run", "--workload", "custom", "--accounts", "2000", "--rw", "4",
+         "--hr", "0.2", "--hw", "0.05", "--hss", "0.02"]
+    )
+    workload = workload_from_args(args)
+    assert workload.params.num_accounts == 2000
+    assert workload.params.reads_writes == 4
+    assert workload.params.prob_hot_read == 0.2
+
+
+def test_system_flag_builds_fabricpp():
+    vanilla = config_from_args(parse(["run", "--system", "fabric"]))
+    fabricpp = config_from_args(parse(["run", "--system", "fabric++"]))
+    assert not vanilla.is_fabric_plus_plus
+    assert fabricpp.is_fabric_plus_plus
+
+
+def test_network_knobs_forwarded():
+    config = config_from_args(
+        parse(["run", "--block-size", "256", "--clients", "2",
+               "--channels", "3", "--client-rate", "100"])
+    )
+    assert config.batch.max_transactions == 256
+    assert config.clients_per_channel == 2
+    assert config.num_channels == 3
+    assert config.client_rate == 100
+
+
+def test_run_command_end_to_end(capsys):
+    exit_code = main(
+        ["run", "--workload", "blank", "--clients", "1",
+         "--client-rate", "50", "--duration", "2", "--block-size", "32"]
+    )
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "Fabric / blank" in output
+    assert "successful_tps" in output
+
+
+def test_compare_command_end_to_end(capsys):
+    exit_code = main(
+        ["compare", "--workload", "custom", "--accounts", "500",
+         "--clients", "1", "--client-rate", "100", "--duration", "2",
+         "--block-size", "64"]
+    )
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "Fabric vs Fabric++" in output
+    assert "improvement" in output
+
+
+def test_caliper_command_end_to_end(capsys):
+    exit_code = main(
+        ["caliper", "--workload", "blank", "--clients", "1",
+         "--rate", "50", "--duration", "3"]
+    )
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "Caliper report" in output
+    assert "avg_latency" in output
+
+
+def test_verify_ledger_command(tmp_path, capsys):
+    from dataclasses import replace
+
+    from repro.core.batch_cutter import BatchCutConfig
+    from repro.fabric.config import FabricConfig
+    from repro.fabric.network import FabricNetwork
+    from repro.ledger.export import save_ledger
+
+    config = replace(
+        FabricConfig(),
+        clients_per_channel=1,
+        client_rate=50.0,
+        batch=BatchCutConfig(max_transactions=16),
+    )
+    network = FabricNetwork(config, BlankWorkload())
+    network.run(duration=1.0, drain=4.0)
+    path = tmp_path / "ledger.json"
+    save_ledger(path, network.reference_peer.channels["ch0"].ledger)
+
+    assert main(["verify-ledger", str(path)]) == 0
+    assert "OK:" in capsys.readouterr().out
+
+
+def test_verify_ledger_detects_tampering(tmp_path, capsys):
+    import json
+    from dataclasses import replace
+
+    from repro.core.batch_cutter import BatchCutConfig
+    from repro.fabric.config import FabricConfig
+    from repro.fabric.network import FabricNetwork
+    from repro.ledger.export import save_ledger
+
+    config = replace(
+        FabricConfig(),
+        clients_per_channel=1,
+        client_rate=50.0,
+        batch=BatchCutConfig(max_transactions=16),
+    )
+    network = FabricNetwork(config, BlankWorkload())
+    network.run(duration=1.0, drain=4.0)
+    path = tmp_path / "ledger.json"
+    save_ledger(path, network.reference_peer.channels["ch0"].ledger)
+    payload = json.loads(path.read_text())
+    payload["blocks"][0]["data_hash"] = "00" * 32
+    path.write_text(json.dumps(payload))
+
+    assert main(["verify-ledger", str(path)]) == 1
+    assert "INVALID" in capsys.readouterr().out
+
+
+def test_ycsb_workload_via_cli():
+    args = parse(["run", "--workload", "ycsb", "--ycsb-preset", "b",
+                  "--records", "500"])
+    workload = workload_from_args(args)
+    from repro.workloads.ycsb import YcsbWorkload
+
+    assert isinstance(workload, YcsbWorkload)
+    assert workload.params.num_records == 500
+    assert workload.params.mix == {"read": 0.95, "update": 0.05}

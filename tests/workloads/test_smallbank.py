@@ -1,0 +1,182 @@
+"""Unit tests for the Smallbank workload."""
+
+import pytest
+
+from repro.errors import ChaincodeError
+from repro.fabric.chaincode import ChaincodeStub
+from repro.ledger.state_db import StateDatabase
+from repro.sim.distributions import Rng
+from repro.workloads.smallbank import (
+    MODIFYING_FUNCTIONS,
+    SmallbankChaincode,
+    SmallbankParams,
+    SmallbankWorkload,
+    checking_key,
+    savings_key,
+)
+
+
+@pytest.fixture
+def state():
+    db = StateDatabase()
+    db.populate(
+        {
+            checking_key(0): 100,
+            savings_key(0): 500,
+            checking_key(1): 200,
+            savings_key(1): 50,
+        }
+    )
+    return db
+
+
+def invoke(state, function, args):
+    stub = ChaincodeStub(state)
+    result = SmallbankChaincode().invoke(stub, function, args)
+    return stub.rwset, result
+
+
+def test_transact_savings(state):
+    rwset, _ = invoke(state, "transact_savings", (0, 30))
+    assert rwset.writes == {savings_key(0): 530}
+    assert set(rwset.reads) == {savings_key(0)}
+
+
+def test_deposit_checking(state):
+    rwset, _ = invoke(state, "deposit_checking", (0, 25))
+    assert rwset.writes == {checking_key(0): 125}
+
+
+def test_send_payment_moves_funds(state):
+    rwset, _ = invoke(state, "send_payment", (0, 1, 40))
+    assert rwset.writes == {checking_key(0): 60, checking_key(1): 240}
+    assert set(rwset.reads) == {checking_key(0), checking_key(1)}
+
+
+def test_write_check_sufficient_funds(state):
+    rwset, _ = invoke(state, "write_check", (0, 50))
+    assert rwset.writes == {checking_key(0): 50}
+    # Reads both accounts to evaluate the total balance.
+    assert set(rwset.reads) == {checking_key(0), savings_key(0)}
+
+
+def test_write_check_overdraft_penalty(state):
+    rwset, _ = invoke(state, "write_check", (0, 601))  # total balance 600
+    assert rwset.writes == {checking_key(0): 100 - 601 - 1}
+
+
+def test_amalgamate(state):
+    rwset, _ = invoke(state, "amalgamate", (0,))
+    assert rwset.writes == {savings_key(0): 0, checking_key(0): 600}
+
+
+def test_query_reads_both_accounts(state):
+    rwset, total = invoke(state, "query", (0,))
+    assert total == 600
+    assert not rwset.writes
+    assert set(rwset.reads) == {checking_key(0), savings_key(0)}
+
+
+def test_unknown_function_rejected(state):
+    with pytest.raises(ChaincodeError):
+        invoke(state, "steal_everything", (0,))
+
+
+def test_accounts_default_to_zero():
+    empty = StateDatabase()
+    rwset, _ = invoke(empty, "deposit_checking", (7, 10))
+    assert rwset.writes == {checking_key(7): 10}
+    assert rwset.reads[checking_key(7)] is None
+
+
+# -- workload generator --------------------------------------------------------------
+
+
+def test_initial_state_has_two_accounts_per_user():
+    workload = SmallbankWorkload(SmallbankParams(num_users=10))
+    state = workload.initial_state()
+    assert len(state) == 20
+    params = workload.params
+    assert all(
+        params.min_balance <= value <= params.max_balance
+        for value in state.values()
+    )
+
+
+def test_initial_state_deterministic_by_seed():
+    a = SmallbankWorkload(SmallbankParams(num_users=5), seed=1).initial_state()
+    b = SmallbankWorkload(SmallbankParams(num_users=5), seed=1).initial_state()
+    c = SmallbankWorkload(SmallbankParams(num_users=5), seed=2).initial_state()
+    assert a == b
+    assert a != c
+
+
+def test_write_probability_respected():
+    workload = SmallbankWorkload(
+        SmallbankParams(num_users=100, prob_write=0.95), seed=0
+    )
+    rng = Rng(0)
+    invocations = [workload.next_invocation(rng) for _ in range(2000)]
+    writes = sum(1 for inv in invocations if inv.function != "query")
+    assert 0.92 < writes / len(invocations) < 0.98
+
+
+def test_read_heavy_profile():
+    workload = SmallbankWorkload(
+        SmallbankParams(num_users=100, prob_write=0.05), seed=0
+    )
+    rng = Rng(0)
+    invocations = [workload.next_invocation(rng) for _ in range(2000)]
+    queries = sum(1 for inv in invocations if inv.function == "query")
+    assert queries / len(invocations) > 0.9
+
+
+def test_all_modifying_functions_occur():
+    workload = SmallbankWorkload(
+        SmallbankParams(num_users=100, prob_write=1.0), seed=0
+    )
+    rng = Rng(0)
+    seen = {workload.next_invocation(rng).function for _ in range(500)}
+    assert seen == set(MODIFYING_FUNCTIONS)
+
+
+def test_send_payment_never_self_transfer():
+    workload = SmallbankWorkload(
+        SmallbankParams(num_users=3, prob_write=1.0, s_value=2.0), seed=0
+    )
+    rng = Rng(0)
+    for _ in range(500):
+        invocation = workload.next_invocation(rng)
+        if invocation.function == "send_payment":
+            source, destination, _amount = invocation.args
+            assert source != destination
+
+
+def test_zipf_skew_concentrates_customers():
+    workload = SmallbankWorkload(
+        SmallbankParams(num_users=1000, prob_write=1.0, s_value=2.0), seed=0
+    )
+    rng = Rng(0)
+    customers = [workload.next_invocation(rng).args[0] for _ in range(2000)]
+    counts = {}
+    for customer in customers:
+        counts[customer] = counts.get(customer, 0) + 1
+    assert max(counts.values()) / len(customers) > 0.4
+
+
+def test_invocations_executable_against_initial_state():
+    workload = SmallbankWorkload(SmallbankParams(num_users=50), seed=3)
+    state = StateDatabase()
+    state.populate(workload.initial_state())
+    chaincode = workload.create_chaincode()
+    rng = Rng(1)
+    for _ in range(200):
+        invocation = workload.next_invocation(rng)
+        stub = ChaincodeStub(state)
+        chaincode.invoke(stub, invocation.function, invocation.args)
+
+
+def test_operation_counts_positive():
+    chaincode = SmallbankChaincode()
+    for function in MODIFYING_FUNCTIONS + ("query",):
+        assert chaincode.operation_count(function, ()) >= 2

@@ -1,0 +1,178 @@
+"""Unit tests for the YCSB-style workload."""
+
+from collections import Counter
+from dataclasses import replace
+
+import pytest
+
+from repro.core.batch_cutter import BatchCutConfig
+from repro.errors import ChaincodeError, ConfigError
+from repro.fabric.chaincode import ChaincodeStub
+from repro.fabric.config import FabricConfig
+from repro.fabric.network import FabricNetwork
+from repro.ledger.state_db import StateDatabase
+from repro.sim.distributions import Rng
+from repro.workloads.ycsb import (
+    PRESETS,
+    YcsbChaincode,
+    YcsbParams,
+    YcsbWorkload,
+    record_key,
+)
+
+
+def test_record_keys_are_ordered():
+    assert record_key(5) < record_key(50) < record_key(500)
+    assert record_key(9) < record_key(10)  # zero padding matters
+
+
+def test_params_validation():
+    with pytest.raises(ConfigError):
+        YcsbParams(num_records=0).validate()
+    with pytest.raises(ConfigError):
+        YcsbParams(mix={"read": 0.5}).validate()
+    with pytest.raises(ConfigError):
+        YcsbParams(mix={"read": 0.5, "steal": 0.5}).validate()
+    YcsbParams().validate()
+
+
+def test_presets_all_valid():
+    for name in PRESETS:
+        YcsbParams.preset(name).validate()
+
+
+def test_unknown_preset_rejected():
+    with pytest.raises(ConfigError):
+        YcsbParams.preset("z")
+
+
+def test_initial_state_size_and_determinism():
+    a = YcsbWorkload(YcsbParams(num_records=100), seed=1).initial_state()
+    b = YcsbWorkload(YcsbParams(num_records=100), seed=1).initial_state()
+    assert len(a) == 100
+    assert a == b
+
+
+@pytest.fixture
+def state():
+    workload = YcsbWorkload(YcsbParams(num_records=20), seed=0)
+    db = StateDatabase()
+    db.populate(workload.initial_state())
+    return db
+
+
+def test_chaincode_read(state):
+    stub = ChaincodeStub(state)
+    value = YcsbChaincode().invoke(stub, "read", (record_key(3),))
+    assert value == state.get_value(record_key(3))
+    assert not stub.rwset.writes
+
+
+def test_chaincode_update(state):
+    stub = ChaincodeStub(state)
+    YcsbChaincode().invoke(stub, "update", (record_key(3), 42))
+    assert stub.rwset.writes == {record_key(3): 42}
+    assert not stub.rwset.reads  # blind write
+
+
+def test_chaincode_rmw(state):
+    stub = ChaincodeStub(state)
+    before = state.get_value(record_key(7))
+    result = YcsbChaincode().invoke(stub, "rmw", (record_key(7), 5))
+    assert result == before + 5
+    assert record_key(7) in stub.rwset.reads
+    assert stub.rwset.writes == {record_key(7): before + 5}
+
+
+def test_chaincode_scan_returns_ordered_prefix(state):
+    stub = ChaincodeStub(state)
+    results = YcsbChaincode().invoke(stub, "scan", (record_key(15), 3))
+    assert [key for key, _ in results] == [
+        record_key(15), record_key(16), record_key(17),
+    ]
+    assert len(stub.rwset.range_reads) == 1
+
+
+def test_chaincode_unknown_operation(state):
+    with pytest.raises(ChaincodeError):
+        YcsbChaincode().invoke(ChaincodeStub(state), "drop_table", ())
+
+
+def test_mix_proportions_respected():
+    workload = YcsbWorkload(YcsbParams.preset("b", num_records=1000), seed=0)
+    rng = Rng(1)
+    operations = Counter(
+        workload.next_invocation(rng).function for _ in range(4000)
+    )
+    assert 0.92 < operations["read"] / 4000 < 0.98
+    assert operations["update"] > 0
+    assert set(operations) == {"read", "update"}
+
+
+def test_read_only_mix():
+    workload = YcsbWorkload(YcsbParams.preset("c", num_records=100), seed=0)
+    rng = Rng(2)
+    assert all(
+        workload.next_invocation(rng).function == "read" for _ in range(200)
+    )
+
+
+def test_inserts_use_fresh_monotonic_keys():
+    workload = YcsbWorkload(YcsbParams.preset("d", num_records=50), seed=0)
+    rng = Rng(3)
+    inserted = [
+        invocation.args[0]
+        for invocation in (workload.next_invocation(rng) for _ in range(500))
+        if invocation.function == "insert"
+    ]
+    assert inserted, "no inserts drawn"
+    assert inserted == sorted(inserted)
+    assert len(set(inserted)) == len(inserted)
+    assert all(key >= record_key(50) for key in inserted)
+
+
+def test_scan_lengths_bounded():
+    params = YcsbParams.preset("e", num_records=100, max_scan_length=5)
+    workload = YcsbWorkload(params, seed=0)
+    rng = Rng(4)
+    for _ in range(200):
+        invocation = workload.next_invocation(rng)
+        if invocation.function == "scan":
+            assert 1 <= invocation.args[1] <= 5
+
+
+def test_zipf_skew_applies_to_requests():
+    workload = YcsbWorkload(
+        YcsbParams(mix={"read": 1.0}, num_records=1000, s_value=1.2), seed=0
+    )
+    rng = Rng(5)
+    keys = Counter(
+        workload.next_invocation(rng).args[0] for _ in range(3000)
+    )
+    assert keys.most_common(1)[0][1] > 100  # heavily skewed
+
+
+def test_ycsb_runs_through_the_pipeline():
+    config = replace(
+        FabricConfig(),
+        clients_per_channel=2,
+        client_rate=100.0,
+        batch=BatchCutConfig(max_transactions=64),
+    )
+    workload = YcsbWorkload(YcsbParams.preset("a", num_records=500), seed=0)
+    metrics = FabricNetwork(config, workload).run(duration=1.5)
+    assert metrics.successful > 0
+
+
+def test_ycsb_scan_workload_through_pipeline():
+    config = replace(
+        FabricConfig(),
+        clients_per_channel=1,
+        client_rate=50.0,
+        batch=BatchCutConfig(max_transactions=32),
+    )
+    workload = YcsbWorkload(
+        YcsbParams.preset("e", num_records=300, max_scan_length=4), seed=0
+    )
+    metrics = FabricNetwork(config, workload).run(duration=2.0)
+    assert metrics.successful > 0
