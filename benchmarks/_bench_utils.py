@@ -1,27 +1,34 @@
 """Shared helpers for the per-figure benchmark targets.
 
 Every benchmark regenerates one table or figure of the paper's evaluation
-(Section 6 / Appendix B): it runs the same workload configuration on
-vanilla Fabric and on Fabric++ and prints the rows/series the figure
-plots. Absolute numbers differ from the paper (our substrate is a
+(Section 6 / Appendix B): it describes its parameter grid as a list of
+:class:`ExperimentSpec` and fans it through the sweep engine
+(:func:`repro.bench.sweep.run_sweep`), which preserves spec order — so
+results are identical whether the grid runs serially or across worker
+processes. Absolute numbers differ from the paper (our substrate is a
 simulator, not a 6-server cluster); the *shape* — who wins, by what
 factor, where crossovers fall — is the reproduction target.
 
 Benchmarks default to a reduced sweep so the whole suite runs in minutes;
-set ``REPRO_BENCH_FULL=1`` for the paper's complete parameter grids.
+set ``REPRO_BENCH_FULL=1`` for the paper's complete parameter grids,
+``REPRO_BENCH_JOBS=N`` to fan grid points across N worker processes
+(0 = one per CPU), and ``REPRO_BENCH_CACHE=1`` to reuse the on-disk
+result cache between runs.
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import replace
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
-from repro.bench.harness import run_experiment
+from repro.bench.cache import ResultCache
+from repro.bench.results import ResultSet
+from repro.bench.spec import ExperimentSpec
+from repro.bench.sweep import parallel_map, run_sweep
 from repro.core.batch_cutter import BatchCutConfig
 from repro.fabric.config import FabricConfig
-from repro.workloads.custom import CustomWorkload, CustomWorkloadParams
-from repro.workloads.smallbank import SmallbankParams, SmallbankWorkload
+from repro.workloads.registry import WorkloadRef
 
 #: Simulated seconds per run (the paper fires for 90 s; shapes stabilise
 #: far earlier in the deterministic simulator).
@@ -33,6 +40,28 @@ def full_sweep() -> bool:
     return os.environ.get("REPRO_BENCH_FULL", "") == "1"
 
 
+def bench_jobs() -> int:
+    """Worker processes for benchmark sweeps (0 = one per CPU)."""
+    return int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+
+def bench_cache() -> Optional[ResultCache]:
+    """The shared result cache, when enabled via ``REPRO_BENCH_CACHE=1``."""
+    if os.environ.get("REPRO_BENCH_CACHE", "") == "1":
+        return ResultCache()
+    return None
+
+
+def bench_sweep(specs: List[ExperimentSpec]) -> ResultSet:
+    """Run a benchmark grid through the sweep engine (env-controlled)."""
+    return run_sweep(specs, jobs=bench_jobs(), cache=bench_cache())
+
+
+def bench_map(function, items, label: str = "") -> list:
+    """Parallel map for the micro-benchmarks (env-controlled jobs)."""
+    return parallel_map(function, items, jobs=bench_jobs(), label=label)
+
+
 def paper_config(block_size: int = 1024, **overrides) -> FabricConfig:
     """The paper's Table 5 system configuration."""
     batch = overrides.pop(
@@ -41,56 +70,72 @@ def paper_config(block_size: int = 1024, **overrides) -> FabricConfig:
     return replace(FabricConfig(), batch=batch, **overrides)
 
 
-def custom_workload(
+def custom_ref(
     rw: int = 8,
     hr: float = 0.40,
     hw: float = 0.10,
     hss: float = 0.01,
     accounts: int = 10_000,
     seed: int = 0,
-) -> CustomWorkload:
-    """The paper's custom workload (Table 7 parameter names)."""
-    return CustomWorkload(
-        CustomWorkloadParams(
-            num_accounts=accounts,
-            reads_writes=rw,
-            prob_hot_read=hr,
-            prob_hot_write=hw,
-            hot_set_fraction=hss,
-        ),
+) -> WorkloadRef:
+    """The paper's custom workload (Table 7 parameter names), as data."""
+    return WorkloadRef(
+        "custom",
+        {
+            "num_accounts": accounts,
+            "reads_writes": rw,
+            "prob_hot_read": hr,
+            "prob_hot_write": hw,
+            "hot_set_fraction": hss,
+        },
         seed=seed,
     )
 
 
-def smallbank_workload(
+def smallbank_ref(
     prob_write: float = 0.95,
     s_value: float = 0.0,
     users: Optional[int] = None,
     seed: int = 0,
-) -> SmallbankWorkload:
-    """Smallbank as configured in the paper's Table 6."""
+) -> WorkloadRef:
+    """Smallbank as configured in the paper's Table 6, as data."""
     if users is None:
         users = 100_000 if full_sweep() else 20_000
-    return SmallbankWorkload(
-        SmallbankParams(num_users=users, prob_write=prob_write, s_value=s_value),
+    return WorkloadRef(
+        "smallbank",
+        {"num_users": users, "prob_write": prob_write, "s_value": s_value},
         seed=seed,
     )
 
 
-def run_both(
+def both_specs(
     config: FabricConfig,
-    make_workload,
+    workload: WorkloadRef,
     duration: float = None,
     params: Optional[Dict[str, object]] = None,
-):
-    """Run vanilla Fabric and Fabric++ on fresh copies of a workload."""
+) -> List[ExperimentSpec]:
+    """Vanilla Fabric and Fabric++ specs for one grid point."""
     duration = DURATION if duration is None else duration
-    results = {}
-    for label, system in (
-        ("Fabric", config.with_vanilla()),
-        ("Fabric++", config.with_fabric_plus_plus()),
-    ):
-        results[label] = run_experiment(
-            system, make_workload(), duration, label=label, params=params
+    return [
+        ExperimentSpec(
+            config=system,
+            workload=workload,
+            duration=duration,
+            label=label,
+            params=dict(params or {}),
         )
-    return results
+        for label, system in (
+            ("Fabric", config.with_vanilla()),
+            ("Fabric++", config.with_fabric_plus_plus()),
+        )
+    ]
+
+
+def run_both(
+    config: FabricConfig,
+    workload: WorkloadRef,
+    duration: float = None,
+    params: Optional[Dict[str, object]] = None,
+) -> ResultSet:
+    """Run vanilla Fabric and Fabric++ on one grid point via the engine."""
+    return bench_sweep(both_specs(config, workload, duration, params))

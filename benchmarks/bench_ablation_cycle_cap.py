@@ -8,6 +8,8 @@ while enumeration time keeps rising — the basis for the library default
 (`FabricConfig.max_cycles_per_block = 1000`).
 """
 
+from _bench_utils import bench_map
+
 from repro.bench.report import format_table
 from repro.core.reorder import reorder
 from repro.ledger.state_db import Version
@@ -40,23 +42,20 @@ def hot_key_block(n=512, n_keys=10_000, rw=8, hot_fraction=0.01,
     return block
 
 
-def run_ablation():
+def measure_cap(cap):
     block = hot_key_block()
-    rows = []
-    for cap in CAPS:
-        result = reorder(block, max_cycles=cap)
-        rows.append(
-            {
-                "max_cycles": cap,
-                "kept": result.num_kept,
-                "aborted": len(result.aborted),
-                "valid_after_replay": count_valid_in_order(
-                    block, result.schedule
-                ),
-                "time_ms": result.elapsed_seconds * 1000,
-            }
-        )
-    return rows
+    result = reorder(block, max_cycles=cap)
+    return {
+        "max_cycles": cap,
+        "kept": result.num_kept,
+        "aborted": len(result.aborted),
+        "valid_after_replay": count_valid_in_order(block, result.schedule),
+        "time_ms": result.elapsed_seconds * 1000,
+    }
+
+
+def run_ablation():
+    return bench_map(measure_cap, CAPS, label="cycle-cap")
 
 
 def test_ablation_cycle_cap(benchmark):

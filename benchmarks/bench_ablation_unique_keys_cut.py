@@ -14,6 +14,8 @@ density grows with block size — so the bound is close to free; in the
 live pipeline its value is keeping the orderer's latency predictable.
 """
 
+from _bench_utils import bench_map
+
 from repro.bench.report import format_table
 from repro.core.batch_cutter import BatchCutConfig, BatchCutter, CutReason
 from repro.core.reorder import reorder
@@ -42,39 +44,40 @@ def transaction_stream(seed=5, n_keys=4000, rw=4):
     return stream
 
 
-def run_ablation():
-    rows = []
+def measure_bound(bound):
+    # The stream is deterministic (seed=5), so each worker rebuilds it
+    # instead of pickling 2048 Transaction objects across the fork.
     stream = transaction_stream()
-    for bound in KEY_BOUNDS:
-        cutter = BatchCutter(
-            BatchCutConfig(max_transactions=1024, max_unique_keys=bound),
-            track_unique_keys=bound is not None,
-        )
-        blocks = []
-        for position, tx in enumerate(stream):
-            reason = cutter.add(tx, now=float(position))
-            if reason is not None:
-                blocks.append(cutter.cut(reason))
-        if len(cutter):
-            blocks.append(cutter.cut(CutReason.FLUSH))
+    cutter = BatchCutter(
+        BatchCutConfig(max_transactions=1024, max_unique_keys=bound),
+        track_unique_keys=bound is not None,
+    )
+    blocks = []
+    for position, tx in enumerate(stream):
+        reason = cutter.add(tx, now=float(position))
+        if reason is not None:
+            blocks.append(cutter.cut(reason))
+    if len(cutter):
+        blocks.append(cutter.cut(CutReason.FLUSH))
 
-        committed = 0
-        worst_time = 0.0
-        for block in blocks:
-            rwsets = [tx.rwset for tx in block]
-            result = reorder(rwsets, max_cycles=1000)
-            committed += count_valid_in_order(rwsets, result.schedule)
-            worst_time = max(worst_time, result.elapsed_seconds)
-        rows.append(
-            {
-                "max_unique_keys": bound if bound is not None else "off",
-                "blocks": len(blocks),
-                "avg_block": round(STREAM_LENGTH / len(blocks), 1),
-                "committed": committed,
-                "worst_reorder_ms": round(worst_time * 1000, 1),
-            }
-        )
-    return rows
+    committed = 0
+    worst_time = 0.0
+    for block in blocks:
+        rwsets = [tx.rwset for tx in block]
+        result = reorder(rwsets, max_cycles=1000)
+        committed += count_valid_in_order(rwsets, result.schedule)
+        worst_time = max(worst_time, result.elapsed_seconds)
+    return {
+        "max_unique_keys": bound if bound is not None else "off",
+        "blocks": len(blocks),
+        "avg_block": round(STREAM_LENGTH / len(blocks), 1),
+        "committed": committed,
+        "worst_reorder_ms": round(worst_time * 1000, 1),
+    }
+
+
+def run_ablation():
+    return bench_map(measure_bound, KEY_BOUNDS, label="unique-keys")
 
 
 def test_ablation_unique_keys_cut(benchmark):

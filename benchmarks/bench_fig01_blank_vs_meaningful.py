@@ -11,19 +11,27 @@ Expected shape: total(blank) ~= total(meaningful); meaningful splits into
 a substantial aborted share plus a smaller successful share.
 """
 
-from _bench_utils import DURATION, custom_workload, paper_config
+from _bench_utils import DURATION, bench_sweep, custom_ref, paper_config
 
-from repro.bench.harness import run_experiment
 from repro.bench.report import format_table
-from repro.workloads.blank import BlankWorkload
+from repro.bench.spec import ExperimentSpec
+from repro.workloads.registry import WorkloadRef
 
 
 def run_figure1():
     config = paper_config(block_size=1024)
-    meaningful = run_experiment(
-        config, custom_workload(), DURATION, label="Meaningful"
+    results = bench_sweep(
+        [
+            ExperimentSpec(
+                config=config, workload=custom_ref(),
+                duration=DURATION, label="Meaningful",
+            ),
+            ExperimentSpec(
+                config=config, workload=WorkloadRef("blank"),
+                duration=DURATION, label="Blank",
+            ),
+        ]
     )
-    blank = run_experiment(config, BlankWorkload(), DURATION, label="Blank")
     rows = [
         {
             "transactions": result.label,
@@ -31,7 +39,7 @@ def run_figure1():
             "aborted_tps": result.metrics.failed_tps(),
             "total_tps": result.metrics.total_tps(),
         }
-        for result in (meaningful, blank)
+        for result in results.values()
     ]
     return rows
 

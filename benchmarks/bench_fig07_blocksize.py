@@ -9,7 +9,13 @@ Expected shape: monotone-ish growth with diminishing returns for both
 systems; Fabric++ >= Fabric everywhere, gap widening with block size.
 """
 
-from _bench_utils import full_sweep, paper_config, run_both, smallbank_workload
+from _bench_utils import (
+    bench_sweep,
+    both_specs,
+    full_sweep,
+    paper_config,
+    smallbank_ref,
+)
 
 from repro.bench.report import format_series
 
@@ -19,16 +25,16 @@ BLOCK_SIZES_FULL = [16, 32, 64, 128, 256, 512, 1024, 2048]
 
 def run_figure7():
     block_sizes = BLOCK_SIZES_FULL if full_sweep() else BLOCK_SIZES_QUICK
-    series = {"Fabric": [], "Fabric++": []}
+    specs = []
     for block_size in block_sizes:
-        config = paper_config(block_size=block_size)
-        results = run_both(
-            config,
-            lambda: smallbank_workload(prob_write=0.95, s_value=0.0),
+        specs += both_specs(
+            paper_config(block_size=block_size),
+            smallbank_ref(prob_write=0.95, s_value=0.0),
             params={"BS": block_size},
         )
-        for label, result in results.items():
-            series[label].append(result.successful_tps)
+    series = {"Fabric": [], "Fabric++": []}
+    for result in bench_sweep(specs).values():
+        series[result.label].append(result.successful_tps)
     return block_sizes, series
 
 

@@ -9,7 +9,13 @@ big at s = 2.0 (paper: 2.68-12.61x, largest for the write-heavy mix where
 vanilla is essentially jammed).
 """
 
-from _bench_utils import full_sweep, paper_config, run_both, smallbank_workload
+from _bench_utils import (
+    bench_sweep,
+    both_specs,
+    full_sweep,
+    paper_config,
+    smallbank_ref,
+)
 
 from repro.bench.report import format_series, improvement_factor
 
@@ -20,18 +26,19 @@ WRITE_MIXES = [0.05, 0.50, 0.95]
 
 def run_figure8():
     s_values = S_VALUES_FULL if full_sweep() else S_VALUES_QUICK
-    panels = {}
+    specs = []
     for prob_write in WRITE_MIXES:
-        series = {"Fabric": [], "Fabric++": []}
         for s_value in s_values:
-            results = run_both(
+            specs += both_specs(
                 paper_config(),
-                lambda: smallbank_workload(prob_write=prob_write, s_value=s_value),
+                smallbank_ref(prob_write=prob_write, s_value=s_value),
                 params={"Pw": prob_write, "s": s_value},
             )
-            for label, result in results.items():
-                series[label].append(result.successful_tps)
-        panels[prob_write] = series
+    panels = {
+        prob_write: {"Fabric": [], "Fabric++": []} for prob_write in WRITE_MIXES
+    }
+    for result in bench_sweep(specs).values():
+        panels[result.params["Pw"]][result.label].append(result.successful_tps)
     return s_values, panels
 
 

@@ -8,7 +8,13 @@ Expected shape: Fabric++ >= Fabric in every cell, largest gain at the
 hottest configuration.
 """
 
-from _bench_utils import custom_workload, full_sweep, paper_config, run_both
+from _bench_utils import (
+    bench_sweep,
+    both_specs,
+    custom_ref,
+    full_sweep,
+    paper_config,
+)
 
 from repro.bench.report import format_table, improvement_factor
 
@@ -29,23 +35,28 @@ GRID_QUICK = [
 
 def run_figure9():
     grid = GRID_FULL if full_sweep() else GRID_QUICK
-    rows = []
+    specs = []
     for rw, hr, hw, hss in grid:
-        results = run_both(
+        specs += both_specs(
             paper_config(),
-            lambda: custom_workload(rw=rw, hr=hr, hw=hw, hss=hss),
+            custom_ref(rw=rw, hr=hr, hw=hw, hss=hss),
         )
+    results = bench_sweep(specs).values()
+    rows = []
+    for (rw, hr, hw, hss), fabric, fabricpp in zip(
+        grid, results[::2], results[1::2]
+    ):
         rows.append(
             {
                 "RW": rw,
                 "HR": f"{hr:.0%}",
                 "HW": f"{hw:.0%}",
                 "HSS": f"{hss:.0%}",
-                "Fabric": results["Fabric"].successful_tps,
-                "Fabric++": results["Fabric++"].successful_tps,
+                "Fabric": fabric.successful_tps,
+                "Fabric++": fabricpp.successful_tps,
                 "factor": improvement_factor(
-                    results["Fabric"].successful_tps,
-                    results["Fabric++"].successful_tps,
+                    fabric.successful_tps,
+                    fabricpp.successful_tps,
                 ),
             }
         )

@@ -10,10 +10,10 @@ early abort keeps doomed transactions out of the reordering input.
 
 from dataclasses import replace
 
-from _bench_utils import DURATION, custom_workload, paper_config
+from _bench_utils import DURATION, bench_sweep, custom_ref, paper_config
 
-from repro.bench.harness import run_experiment
 from repro.bench.report import format_table
+from repro.bench.spec import ExperimentSpec
 
 VARIANTS = [
     ("Fabric", dict()),
@@ -34,20 +34,23 @@ VARIANTS = [
 
 
 def run_figure10():
-    rows = []
-    for label, flags in VARIANTS:
-        config = replace(paper_config(), **flags)
-        result = run_experiment(
-            config, custom_workload(), DURATION, label=label
+    specs = [
+        ExperimentSpec(
+            config=replace(paper_config(), **flags),
+            workload=custom_ref(),
+            duration=DURATION,
+            label=label,
         )
-        rows.append(
-            {
-                "system": label,
-                "successful_tps": result.successful_tps,
-                "failed_tps": result.failed_tps,
-            }
-        )
-    return rows
+        for label, flags in VARIANTS
+    ]
+    return [
+        {
+            "system": result.label,
+            "successful_tps": result.successful_tps,
+            "failed_tps": result.failed_tps,
+        }
+        for result in bench_sweep(specs).values()
+    ]
 
 
 def test_fig10_breakdown(benchmark):

@@ -10,7 +10,7 @@ at 8 clients as client contention lengthens the pipeline and staleness
 grows.
 """
 
-from _bench_utils import DURATION, custom_workload, paper_config, run_both
+from _bench_utils import bench_sweep, both_specs, custom_ref, paper_config
 
 from repro.bench.report import format_series
 
@@ -18,36 +18,40 @@ CHANNEL_COUNTS = [1, 2, 4, 8]
 CLIENT_COUNTS = [1, 2, 4, 8]
 
 
-def run_channels():
+def _run_family(configs_and_params):
+    specs = []
+    for config, params in configs_and_params:
+        specs += both_specs(config, custom_ref(), params=params)
     series = {"Fabric": [], "Fabric++": []}
     failed = {"Fabric": [], "Fabric++": []}
-    for channels in CHANNEL_COUNTS:
-        config = paper_config(num_channels=channels, clients_per_channel=2)
-        results = run_both(
-            config,
-            lambda: custom_workload(),
-            params={"channels": channels},
-        )
-        for label, result in results.items():
-            series[label].append(result.successful_tps)
-            failed[label].append(result.failed_tps)
+    for result in bench_sweep(specs).values():
+        series[result.label].append(result.successful_tps)
+        failed[result.label].append(result.failed_tps)
     return series, failed
+
+
+def run_channels():
+    return _run_family(
+        [
+            (
+                paper_config(num_channels=channels, clients_per_channel=2),
+                {"channels": channels},
+            )
+            for channels in CHANNEL_COUNTS
+        ]
+    )
 
 
 def run_clients():
-    series = {"Fabric": [], "Fabric++": []}
-    failed = {"Fabric": [], "Fabric++": []}
-    for clients in CLIENT_COUNTS:
-        config = paper_config(num_channels=1, clients_per_channel=clients)
-        results = run_both(
-            config,
-            lambda: custom_workload(),
-            params={"clients": clients},
-        )
-        for label, result in results.items():
-            series[label].append(result.successful_tps)
-            failed[label].append(result.failed_tps)
-    return series, failed
+    return _run_family(
+        [
+            (
+                paper_config(num_channels=1, clients_per_channel=clients),
+                {"clients": clients},
+            )
+            for clients in CLIENT_COUNTS
+        ]
+    )
 
 
 def test_fig11a_channels(benchmark):

@@ -13,7 +13,7 @@ the low milliseconds.
 
 from repro.testing import count_valid_in_order, rwset
 
-from _bench_utils import full_sweep
+from _bench_utils import bench_map, full_sweep
 
 from repro.bench.report import format_table
 from repro.core.reorder import reorder
@@ -33,28 +33,27 @@ def build_shifted_sequence(n, shift):
     return base[-shift:] + base[:-shift]
 
 
+def measure_shift(shift):
+    block = build_shifted_sequence(N, shift)
+    arrival_valid = count_valid_in_order(block, range(N))
+    result = reorder(block)
+    reordered_valid = count_valid_in_order(block, result.schedule)
+    return {
+        "shifted_readers": shift,
+        "arrival_valid": arrival_valid,
+        "reordered_valid": reordered_valid,
+        "aborted": len(result.aborted),
+        "time_ms": result.elapsed_seconds * 1000,
+    }
+
+
 def run_figure15():
     shifts = (
         [0, 64, 128, 192, 256, 320, 384, 448, 512]
         if full_sweep()
         else [0, 128, 256, 384, 512]
     )
-    rows = []
-    for shift in shifts:
-        block = build_shifted_sequence(N, shift)
-        arrival_valid = count_valid_in_order(block, range(N))
-        result = reorder(block)
-        reordered_valid = count_valid_in_order(block, result.schedule)
-        rows.append(
-            {
-                "shifted_readers": shift,
-                "arrival_valid": arrival_valid,
-                "reordered_valid": reordered_valid,
-                "aborted": len(result.aborted),
-                "time_ms": result.elapsed_seconds * 1000,
-            }
-        )
-    return rows
+    return bench_map(measure_shift, shifts, label="fig15")
 
 
 def test_fig15_micro_interleave(benchmark):

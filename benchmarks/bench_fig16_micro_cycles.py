@@ -14,7 +14,7 @@ compute cost.
 
 from repro.testing import count_valid_in_order, rwset
 
-from _bench_utils import full_sweep
+from _bench_utils import bench_map, full_sweep
 
 from repro.bench.report import format_table
 from repro.core.reorder import reorder
@@ -34,29 +34,28 @@ def build_cycles(n, cycle_length):
     return block
 
 
+def measure_cycle_length(cycle_length):
+    block = build_cycles(N, cycle_length)
+    arrival_valid = count_valid_in_order(block, range(len(block)))
+    result = reorder(block)
+    reordered_valid = count_valid_in_order(block, result.schedule)
+    return {
+        "cycle_length": cycle_length,
+        "transactions": len(block),
+        "arrival_valid": arrival_valid,
+        "reordered_valid": reordered_valid,
+        "aborted": len(result.aborted),
+        "time_ms": result.elapsed_seconds * 1000,
+    }
+
+
 def run_figure16():
     lengths = (
         [2, 4, 8, 16, 32, 64, 128, 256, 512]
         if full_sweep()
         else [2, 8, 32, 128, 512]
     )
-    rows = []
-    for cycle_length in lengths:
-        block = build_cycles(N, cycle_length)
-        arrival_valid = count_valid_in_order(block, range(len(block)))
-        result = reorder(block)
-        reordered_valid = count_valid_in_order(block, result.schedule)
-        rows.append(
-            {
-                "cycle_length": cycle_length,
-                "transactions": len(block),
-                "arrival_valid": arrival_valid,
-                "reordered_valid": reordered_valid,
-                "aborted": len(result.aborted),
-                "time_ms": result.elapsed_seconds * 1000,
-            }
-        )
-    return rows
+    return bench_map(measure_cycle_length, lengths, label="fig16")
 
 
 def test_fig16_micro_cycles(benchmark):

@@ -9,33 +9,33 @@ fully-valid order.
 
 from repro.testing import count_valid_in_order, paper_table1_rwsets
 
+from _bench_utils import bench_map
+
 from repro.bench.report import format_table
 from repro.core.reorder import reorder
 
+ORDERS = [
+    ("T1=>T2=>T3=>T4 (arrival, Table 1)", [0, 1, 2, 3]),
+    ("T4=>T2=>T3=>T1 (paper, Table 2)", [3, 1, 2, 0]),
+    ("reorder() output", None),  # None: run the mechanism itself
+]
+
+
+def evaluate_order(item):
+    name, schedule = item
+    block = paper_table1_rwsets()
+    if schedule is None:
+        schedule = reorder(block).schedule
+        name = "reorder() output: " + "=>".join(f"T{i + 1}" for i in schedule)
+    return {
+        "order": name,
+        "valid": count_valid_in_order(block, schedule),
+        "total": 4,
+    }
+
 
 def run_tables_1_and_2():
-    block = paper_table1_rwsets()
-    arrival = [0, 1, 2, 3]            # T1 => T2 => T3 => T4
-    paper_reordered = [3, 1, 2, 0]    # T4 => T2 => T3 => T1
-    result = reorder(block)
-    return [
-        {
-            "order": "T1=>T2=>T3=>T4 (arrival, Table 1)",
-            "valid": count_valid_in_order(block, arrival),
-            "total": 4,
-        },
-        {
-            "order": "T4=>T2=>T3=>T1 (paper, Table 2)",
-            "valid": count_valid_in_order(block, paper_reordered),
-            "total": 4,
-        },
-        {
-            "order": "reorder() output: "
-            + "=>".join(f"T{i + 1}" for i in result.schedule),
-            "valid": count_valid_in_order(block, result.schedule),
-            "total": 4,
-        },
-    ]
+    return bench_map(evaluate_order, ORDERS, label="tab01-02")
 
 
 def test_tab01_02_reordering_example(benchmark):

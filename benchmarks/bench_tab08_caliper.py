@@ -9,27 +9,31 @@ and its successful throughput clearly higher (paper: 0.47 s -> 0.28 s,
 188 -> 299 TPS).
 """
 
-from _bench_utils import custom_workload, paper_config
+from _bench_utils import bench_sweep, custom_ref, paper_config
 
-from repro.bench.caliper import run_caliper
+from repro.bench.caliper import caliper_spec, report_from_result
 from repro.bench.report import format_table
 
 
 def run_table8():
-    reports = {}
-    for label, config in (
-        ("Fabric", paper_config().with_vanilla()),
-        ("Fabric++", paper_config().with_fabric_plus_plus()),
-    ):
-        reports[label] = run_caliper(
+    specs = [
+        caliper_spec(
             config,
-            custom_workload(rw=4),
+            custom_ref(rw=4),
             duration=8.0,
             rate_per_client=150.0,
             block_size=512,
             label=label,
         )
-    return reports
+        for label, config in (
+            ("Fabric", paper_config().with_vanilla()),
+            ("Fabric++", paper_config().with_fabric_plus_plus()),
+        )
+    ]
+    return {
+        result.label: report_from_result(result)
+        for result in bench_sweep(specs).values()
+    }
 
 
 def test_tab08_caliper(benchmark):

@@ -1,104 +1,69 @@
-"""Experiment runner: one configuration, one workload, one set of numbers.
+"""Experiment runner: one spec, one simulation, one set of numbers.
 
 Mirrors the paper's framework (Section 6.2.1): fire proposals uniformly at
 a specified rate from multiple clients in multiple channels and report the
 throughput of successful and aborted transactions per second.
+
+The canonical entry point is ``run_experiment(spec)`` with a single
+:class:`ExperimentSpec`; the historical
+``run_experiment(config, workload, duration, label, params)`` signature
+still works and is converted to a spec internally. Grids of specs run
+through :func:`repro.bench.sweep.run_sweep`, in parallel and cached.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Union
 
+from repro.bench.results import ExperimentResult, ResultSet
+from repro.bench.spec import DEFAULT_DRAIN, DEFAULT_DURATION, ExperimentSpec
 from repro.fabric.config import FabricConfig
-from repro.fabric.metrics import PipelineMetrics
 from repro.fabric.network import FabricNetwork, WorkloadSpec
-
-#: Default simulated run length for benchmark experiments. The paper fires
-#: for 90 s; shapes stabilise far earlier in the deterministic simulator,
-#: so benchmarks default to a shorter window and report the value used.
-DEFAULT_DURATION = 5.0
-
-
-@dataclass
-class ExperimentResult:
-    """One experiment's outcome, with the run's identifying labels."""
-
-    label: str
-    config: FabricConfig
-    metrics: PipelineMetrics
-    duration: float
-    params: Dict[str, object] = field(default_factory=dict)
-
-    @property
-    def successful_tps(self) -> float:
-        """Average successful transactions per second."""
-        return self.metrics.successful_tps()
-
-    @property
-    def failed_tps(self) -> float:
-        """Average failed transactions per second."""
-        return self.metrics.failed_tps()
-
-    def row(self) -> Dict[str, object]:
-        """A flat dict for report tables."""
-        summary = self.metrics.summary()
-        return {"label": self.label, **self.params, **summary}
+from repro.workloads.registry import WorkloadRef
 
 
 def run_experiment(
-    config: FabricConfig,
-    workload: WorkloadSpec,
-    duration: float = DEFAULT_DURATION,
+    spec: Union[ExperimentSpec, FabricConfig],
+    workload: Optional[WorkloadSpec] = None,
+    duration: Optional[float] = None,
     label: str = "",
     params: Optional[Dict[str, object]] = None,
+    drain: Optional[float] = None,
 ) -> ExperimentResult:
-    """Build a network, run the workload, and collect metrics."""
-    network = FabricNetwork(config, workload)
-    metrics = network.run(duration=duration)
+    """Build a network, run the workload, and collect metrics.
+
+    Preferred form: ``run_experiment(spec)`` with everything described by
+    one :class:`ExperimentSpec`. The legacy positional form builds the
+    spec on the fly from a config plus a workload (instance, per-channel
+    factory, or :class:`WorkloadRef`).
+    """
+    if isinstance(spec, ExperimentSpec):
+        if workload is not None:
+            raise TypeError(
+                "run_experiment(spec) takes no separate workload argument"
+            )
+        experiment = spec
+    else:
+        if workload is None:
+            raise TypeError("run_experiment(config, workload, ...) needs a workload")
+        experiment = ExperimentSpec(
+            config=spec,
+            workload=workload,
+            duration=DEFAULT_DURATION if duration is None else duration,
+            label=label,
+            params=dict(params or {}),
+            drain=DEFAULT_DRAIN if drain is None else drain,
+        )
+    config = experiment.resolved_config()
+    network = FabricNetwork(config, experiment.build_workload())
+    metrics = network.run(duration=experiment.duration, drain=experiment.drain)
     return ExperimentResult(
-        label=label or ("Fabric++" if config.is_fabric_plus_plus else "Fabric"),
+        label=experiment.resolved_label(),
         config=config,
         metrics=metrics,
-        duration=duration,
-        params=dict(params or {}),
+        duration=experiment.duration,
+        params=dict(experiment.params),
     )
-
-
-@dataclass
-class ReplicatedResult:
-    """Aggregate of one configuration run under several seeds."""
-
-    label: str
-    seeds: list
-    successful_tps_values: list
-    failed_tps_values: list
-
-    @property
-    def mean_successful_tps(self) -> float:
-        """Mean successful throughput over the replicas."""
-        return sum(self.successful_tps_values) / len(self.successful_tps_values)
-
-    @property
-    def stdev_successful_tps(self) -> float:
-        """Population standard deviation of successful throughput."""
-        mean = self.mean_successful_tps
-        variance = sum(
-            (value - mean) ** 2 for value in self.successful_tps_values
-        ) / len(self.successful_tps_values)
-        return variance ** 0.5
-
-    def row(self) -> Dict[str, object]:
-        """A flat dict for report tables."""
-        return {
-            "label": self.label,
-            "replicas": len(self.seeds),
-            "successful_tps_mean": round(self.mean_successful_tps, 1),
-            "successful_tps_stdev": round(self.stdev_successful_tps, 1),
-            "failed_tps_mean": round(
-                sum(self.failed_tps_values) / len(self.failed_tps_values), 1
-            ),
-        }
 
 
 def run_replicated(
@@ -107,53 +72,67 @@ def run_replicated(
     seeds,
     duration: float = DEFAULT_DURATION,
     label: str = "",
-) -> ReplicatedResult:
-    """Run the same configuration under several seeds and aggregate.
+    drain: float = DEFAULT_DRAIN,
+) -> ResultSet:
+    """Run the same configuration under several seeds and collect the runs.
 
     ``workload_factory`` receives each seed so the workload stream varies
     with the network seed. The paper reports single 90-second runs; this
-    replication utility quantifies run-to-run spread in the simulator.
+    replication utility quantifies run-to-run spread in the simulator:
+    ``run_replicated(...).aggregate()`` yields mean/stdev of successful
+    throughput over the replicas.
     """
-    from dataclasses import replace as _replace
-
     seeds = list(seeds)
     if not seeds:
         raise ValueError("run_replicated needs at least one seed")
-    successful = []
-    failed = []
+    results = ResultSet()
     for seed in seeds:
-        seeded = _replace(config, seed=seed)
-        result = run_experiment(
-            seeded, workload_factory(seed), duration, label=label
+        spec = ExperimentSpec(
+            config=config,
+            workload=workload_factory(seed),
+            duration=duration,
+            label=label,
+            seed=seed,
+            drain=drain,
+            params={"seed": seed},
         )
-        successful.append(result.successful_tps)
-        failed.append(result.failed_tps)
-    return ReplicatedResult(
-        label=label or ("Fabric++" if config.is_fabric_plus_plus else "Fabric"),
-        seeds=seeds,
-        successful_tps_values=successful,
-        failed_tps_values=failed,
-    )
+        results.append(run_experiment(spec))
+    return results
 
 
 def compare_fabric_vs_fabricpp(
     base_config: FabricConfig,
-    workload_factory: Callable[[], WorkloadSpec],
+    workload_factory: Union[WorkloadRef, Callable[[], WorkloadSpec]],
     duration: float = DEFAULT_DURATION,
     params: Optional[Dict[str, object]] = None,
-) -> Dict[str, ExperimentResult]:
+    drain: float = DEFAULT_DRAIN,
+) -> ResultSet:
     """Run vanilla Fabric and Fabric++ on identical fresh workloads.
 
-    ``workload_factory`` must build a *fresh* workload per call so the two
-    systems see identical, independent initial states and invocation
-    streams (both are seeded from the same configuration seed).
+    ``workload_factory`` is either a :class:`WorkloadRef` (each system
+    builds its own instance from the same data) or a zero-argument
+    callable returning a *fresh* workload per call, so the two systems
+    see identical, independent initial states and invocation streams
+    (both are seeded from the same configuration seed). Returns a
+    :class:`ResultSet` with labels ``"Fabric"`` and ``"Fabric++"``.
     """
-    results = {}
+    results = ResultSet()
     for label, config in (
         ("Fabric", base_config.with_vanilla()),
         ("Fabric++", base_config.with_fabric_plus_plus()),
     ):
-        results[label] = run_experiment(
-            config, workload_factory(), duration, label=label, params=params
+        workload = (
+            workload_factory
+            if isinstance(workload_factory, WorkloadRef)
+            else workload_factory()
         )
+        spec = ExperimentSpec(
+            config=config,
+            workload=workload,
+            duration=duration,
+            label=label,
+            params=dict(params or {}),
+            drain=drain,
+        )
+        results.append(run_experiment(spec))
     return results

@@ -1,0 +1,276 @@
+"""Process-parallel sweep engine for grids of independent experiments.
+
+Every benchmark grid in this repository is embarrassingly parallel: each
+grid point is one self-contained deterministic simulation. ``run_sweep``
+fans a list of :class:`ExperimentSpec` across worker processes
+(``--jobs N``), consults the on-disk result cache first, reports live
+progress (completed/total, per-point wall-clock, ETA), and returns a
+:class:`ResultSet` whose order matches the input spec order — so a
+parallel sweep is row-for-row identical to a serial one, preserving the
+DES's determinism (enforced by ``tests/bench/test_sweep.py``).
+
+``parallel_map`` is the engine's generic sibling for micro-benchmarks
+that sweep a pure function instead of a network experiment.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence, Union
+
+from repro.bench.cache import ResultCache
+from repro.bench.results import ExperimentResult, ResultSet
+from repro.bench.spec import ExperimentSpec
+from repro.errors import ConfigError
+
+#: Environment variable forcing progress output on (``1``) or off (``0``).
+PROGRESS_ENV = "REPRO_SWEEP_PROGRESS"
+
+
+@dataclass
+class SweepStats:
+    """Bookkeeping of one sweep: cache behaviour and wall-clock timing."""
+
+    total: int = 0
+    #: Grid points actually simulated this run.
+    executed: int = 0
+    #: Grid points served from the on-disk cache.
+    cached: int = 0
+    jobs: int = 1
+    #: Wall-clock seconds for the whole sweep (including cache lookups).
+    elapsed_seconds: float = 0.0
+    #: Per-point records: label, params, wall-clock seconds, cached flag.
+    per_point: List[dict] = field(default_factory=list)
+
+    def summary_line(self) -> str:
+        """One-line human summary for CLI output."""
+        return (
+            f"{self.total} point(s): {self.executed} simulated, "
+            f"{self.cached} from cache, {self.elapsed_seconds:.1f}s wall "
+            f"(jobs={self.jobs})"
+        )
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``--jobs`` value; 0/None means one worker per CPU."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ConfigError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+def _progress_enabled(progress: Optional[bool]) -> bool:
+    if progress is not None:
+        return progress
+    env = os.environ.get(PROGRESS_ENV)
+    if env is not None:
+        return env == "1"
+    return sys.stderr.isatty()
+
+
+class SweepProgress:
+    """Live progress lines on stderr: completed/total, per-point time, ETA."""
+
+    def __init__(self, total: int, enabled: bool, live_total: int = 0) -> None:
+        self.total = total
+        self.enabled = enabled
+        self.completed = 0
+        self.live_total = live_total
+        self.live_done = 0
+        self.started = time.perf_counter()
+
+    def point_done(self, description: str, seconds: float, cached: bool) -> None:
+        """Report one finished grid point."""
+        self.completed += 1
+        if not cached:
+            self.live_done += 1
+        if not self.enabled:
+            return
+        if cached:
+            timing = "cache"
+        else:
+            timing = f"{seconds:.2f}s"
+        eta = self._eta()
+        eta_text = f" | eta {eta:.0f}s" if eta is not None else ""
+        print(
+            f"[{self.completed}/{self.total}] {description} ({timing}){eta_text}",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    def _eta(self) -> Optional[float]:
+        """Estimated seconds remaining, from live-point throughput."""
+        remaining = self.live_total - self.live_done
+        if remaining <= 0 or self.live_done == 0:
+            return None
+        elapsed = time.perf_counter() - self.started
+        return elapsed / self.live_done * remaining
+
+
+def _mp_context():
+    """Prefer fork (cheap, inherits imported bench modules) when available."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _execute_spec(spec: ExperimentSpec):
+    """Worker entry point: run one spec, timing its wall clock."""
+    from repro.bench.harness import run_experiment
+
+    started = time.perf_counter()
+    result = run_experiment(spec)
+    return result, time.perf_counter() - started
+
+
+def _resolve_cache(
+    cache: Union[ResultCache, bool, None], cache_dir
+) -> Optional[ResultCache]:
+    if isinstance(cache, ResultCache):
+        return cache
+    if cache is True:
+        return ResultCache(cache_dir)
+    return None
+
+
+def run_sweep(
+    specs: Iterable[ExperimentSpec],
+    jobs: int = 1,
+    cache: Union[ResultCache, bool, None] = None,
+    cache_dir=None,
+    progress: Optional[bool] = None,
+) -> ResultSet:
+    """Run a grid of experiment specs, possibly in parallel, with caching.
+
+    ``jobs`` <= 1 runs in-process (no pool); ``jobs`` == 0 uses one worker
+    per CPU. ``cache`` may be an explicit :class:`ResultCache`, ``True``
+    (open the default ``.repro-cache/`` directory, or ``cache_dir``), or
+    None/False (no caching). ``progress`` forces progress lines on or off;
+    by default they appear when stderr is a terminal (override with the
+    ``REPRO_SWEEP_PROGRESS`` environment variable).
+
+    The returned :class:`ResultSet` preserves the input spec order
+    regardless of worker completion order, so results are independent of
+    ``jobs``.
+    """
+    specs = list(specs)
+    jobs = resolve_jobs(jobs)
+    cache_obj = _resolve_cache(cache, cache_dir)
+    stats = SweepStats(total=len(specs), jobs=jobs)
+    results: List[Optional[ExperimentResult]] = [None] * len(specs)
+    started = time.perf_counter()
+
+    pending: List[int] = []
+    hits: List[int] = []
+    for index, spec in enumerate(specs):
+        hit = cache_obj.get(spec) if cache_obj is not None else None
+        if hit is not None:
+            results[index] = hit
+            hits.append(index)
+        else:
+            pending.append(index)
+
+    reporter = SweepProgress(
+        total=len(specs),
+        enabled=_progress_enabled(progress),
+        live_total=len(pending),
+    )
+    for index in hits:
+        stats.cached += 1
+        stats.per_point.append(
+            {
+                "label": specs[index].resolved_label(),
+                "params": dict(specs[index].params),
+                "seconds": 0.0,
+                "cached": True,
+            }
+        )
+        reporter.point_done(specs[index].describe(), 0.0, cached=True)
+
+    def record(index: int, result: ExperimentResult, seconds: float) -> None:
+        results[index] = result
+        if cache_obj is not None:
+            cache_obj.put(specs[index], result)
+        stats.executed += 1
+        stats.per_point.append(
+            {
+                "label": specs[index].resolved_label(),
+                "params": dict(specs[index].params),
+                "seconds": seconds,
+                "cached": False,
+            }
+        )
+        reporter.point_done(specs[index].describe(), seconds, cached=False)
+
+    if pending and jobs <= 1:
+        for index in pending:
+            result, seconds = _execute_spec(specs[index])
+            record(index, result, seconds)
+    elif pending:
+        workers = min(jobs, len(pending))
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=_mp_context()
+        ) as pool:
+            futures = {
+                pool.submit(_execute_spec, specs[index]): index
+                for index in pending
+            }
+            for future in as_completed(futures):
+                result, seconds = future.result()
+                record(futures[future], result, seconds)
+
+    stats.elapsed_seconds = time.perf_counter() - started
+    return ResultSet(results, stats=stats)
+
+
+def _call_indexed(function: Callable, index: int, item) -> tuple:
+    started = time.perf_counter()
+    return index, function(item), time.perf_counter() - started
+
+
+def parallel_map(
+    function: Callable,
+    items: Sequence,
+    jobs: int = 1,
+    progress: Optional[bool] = None,
+    label: str = "",
+) -> list:
+    """Map a picklable function over items, optionally across processes.
+
+    The micro-benchmarks (reordering on synthetic blocks, no network) use
+    this instead of :func:`run_sweep`: same worker pool and progress
+    reporting, ordered results, no cache. ``function`` must be a
+    module-level callable so it pickles to workers.
+    """
+    items = list(items)
+    jobs = resolve_jobs(jobs)
+    reporter = SweepProgress(
+        total=len(items), enabled=_progress_enabled(progress), live_total=len(items)
+    )
+    prefix = f"{label} " if label else ""
+    outputs: List[object] = [None] * len(items)
+    if jobs <= 1 or len(items) <= 1:
+        for index, item in enumerate(items):
+            index, output, seconds = _call_indexed(function, index, item)
+            outputs[index] = output
+            reporter.point_done(f"{prefix}{item!r}", seconds, cached=False)
+        return outputs
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(items)), mp_context=_mp_context()
+    ) as pool:
+        futures = [
+            pool.submit(_call_indexed, function, index, item)
+            for index, item in enumerate(items)
+        ]
+        for future in as_completed(futures):
+            index, output, seconds = future.result()
+            outputs[index] = output
+            reporter.point_done(f"{prefix}{items[index]!r}", seconds, cached=False)
+    return outputs

@@ -1,33 +1,60 @@
 """Command-line interface: run experiments without writing code.
 
-Three subcommands mirror the library's main entry points::
+Four experiment subcommands mirror the library's main entry points::
 
     python -m repro run --workload smallbank --system fabric++ --s-value 1.5
     python -m repro compare --workload custom --hr 0.4 --hw 0.1 --duration 5
     python -m repro caliper --workload custom --rate 150
+    python -m repro sweep --workload smallbank --sweep s-value=0.0,1.0,2.0 --jobs 4
 
 ``run`` executes one system/workload combination and prints the metric
 summary; ``compare`` runs vanilla Fabric and Fabric++ on identical inputs
 and prints both plus the improvement factor; ``caliper`` reproduces the
-paper's Table 8 measurement discipline.
+paper's Table 8 measurement discipline; ``sweep`` fans a parameter grid
+across worker processes (``--jobs``) with on-disk result caching in
+``.repro-cache/`` — a second identical invocation completes from cache
+without re-simulating.
 """
 
 from __future__ import annotations
 
 import argparse
+import copy
+import itertools
 import sys
 from dataclasses import replace
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
+from repro.bench.cache import ResultCache
 from repro.bench.caliper import run_caliper
-from repro.bench.harness import run_experiment
+from repro.bench.harness import compare_fabric_vs_fabricpp, run_experiment
 from repro.bench.report import format_table, improvement_factor
+from repro.bench.spec import ExperimentSpec
+from repro.bench.sweep import run_sweep
 from repro.core.batch_cutter import BatchCutConfig
+from repro.errors import ReproError
 from repro.fabric.config import FabricConfig
 from repro.workloads.base import Workload
-from repro.workloads.blank import BlankWorkload
-from repro.workloads.custom import CustomWorkload, CustomWorkloadParams
-from repro.workloads.smallbank import SmallbankParams, SmallbankWorkload
+from repro.workloads.registry import WorkloadRef
+
+#: Axes ``sweep --sweep KEY=V1,V2,...`` may vary: CLI key -> (dest, type).
+SWEEPABLE = {
+    "block-size": ("block_size", int),
+    "clients": ("clients", int),
+    "channels": ("channels", int),
+    "client-rate": ("client_rate", float),
+    "seed": ("seed", int),
+    "duration": ("duration", float),
+    "users": ("users", int),
+    "prob-write": ("prob_write", float),
+    "s-value": ("s_value", float),
+    "accounts": ("accounts", int),
+    "rw": ("rw", int),
+    "hr": ("hr", float),
+    "hw": ("hw", float),
+    "hss": ("hss", float),
+    "records": ("records", int),
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -42,6 +69,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("run", "run one system on one workload"),
         ("compare", "run vanilla Fabric and Fabric++ on identical inputs"),
         ("caliper", "Caliper-style latency/throughput measurement (Table 8)"),
+        ("sweep", "run a parameter grid in parallel with result caching"),
     ):
         sub = subcommands.add_parser(name, help=help_text)
         _add_workload_arguments(sub)
@@ -51,6 +79,11 @@ def build_parser() -> argparse.ArgumentParser:
             help="simulated seconds to fire the workload (default 3)",
         )
         sub.add_argument(
+            "--drain", type=float, default=3.0,
+            help="extra simulated seconds after firing stops so in-flight "
+                 "transactions resolve (default 3)",
+        )
+        sub.add_argument(
             "--json", metavar="PATH", default=None,
             help="also save the run records to PATH as JSON",
         )
@@ -58,6 +91,31 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument(
                 "--rate", type=float, default=150.0,
                 help="proposals per second per client (default 150)",
+            )
+        if name == "sweep":
+            sub.add_argument(
+                "--sweep", action="append", metavar="KEY=V1,V2,...",
+                default=None,
+                help="sweep one axis over comma-separated values; repeatable "
+                     f"(keys: {', '.join(sorted(SWEEPABLE))})",
+            )
+            sub.add_argument(
+                "--systems", default="fabric,fabric++",
+                help="comma-separated systems to run per grid point "
+                     "(default: fabric,fabric++)",
+            )
+            sub.add_argument(
+                "--jobs", type=int, default=1,
+                help="worker processes (0 = one per CPU; default 1)",
+            )
+            sub.add_argument(
+                "--no-cache", action="store_true",
+                help="disable the on-disk result cache",
+            )
+            sub.add_argument(
+                "--cache-dir", default=None,
+                help="result cache directory (default .repro-cache/, or "
+                     "$REPRO_CACHE_DIR)",
             )
 
     verify = subcommands.add_parser(
@@ -112,40 +170,46 @@ def _add_system_arguments(sub: argparse.ArgumentParser, with_system: bool) -> No
                      help="proposals per second per client")
 
 
-def workload_from_args(args: argparse.Namespace) -> Workload:
-    """Build the workload the arguments describe."""
+def workload_ref_from_args(args: argparse.Namespace) -> WorkloadRef:
+    """Build the picklable workload reference the arguments describe."""
     if args.workload == "smallbank":
-        return SmallbankWorkload(
-            SmallbankParams(
-                num_users=args.users,
-                prob_write=args.prob_write,
-                s_value=args.s_value,
-            ),
+        return WorkloadRef(
+            "smallbank",
+            {
+                "num_users": args.users,
+                "prob_write": args.prob_write,
+                "s_value": args.s_value,
+            },
             seed=args.seed,
         )
     if args.workload == "custom":
-        return CustomWorkload(
-            CustomWorkloadParams(
-                num_accounts=args.accounts,
-                reads_writes=args.rw,
-                prob_hot_read=args.hr,
-                prob_hot_write=args.hw,
-                hot_set_fraction=args.hss,
-            ),
+        return WorkloadRef(
+            "custom",
+            {
+                "num_accounts": args.accounts,
+                "reads_writes": args.rw,
+                "prob_hot_read": args.hr,
+                "prob_hot_write": args.hw,
+                "hot_set_fraction": args.hss,
+            },
             seed=args.seed,
         )
     if args.workload == "ycsb":
-        from repro.workloads.ycsb import YcsbParams, YcsbWorkload
-
-        return YcsbWorkload(
-            YcsbParams.preset(
-                args.ycsb_preset,
-                num_records=args.records,
-                s_value=args.s_value or 0.99,
-            ),
+        return WorkloadRef(
+            "ycsb",
+            {
+                "preset": args.ycsb_preset,
+                "num_records": args.records,
+                "s_value": args.s_value or 0.99,
+            },
             seed=args.seed,
         )
-    return BlankWorkload()
+    return WorkloadRef("blank")
+
+
+def workload_from_args(args: argparse.Namespace) -> Workload:
+    """Build the workload instance the arguments describe."""
+    return workload_ref_from_args(args).build()
 
 
 def config_from_args(args: argparse.Namespace) -> FabricConfig:
@@ -164,32 +228,29 @@ def config_from_args(args: argparse.Namespace) -> FabricConfig:
 
 
 def command_run(args: argparse.Namespace) -> int:
-    config = config_from_args(args)
-    result = run_experiment(
-        config, workload_from_args(args), duration=args.duration
+    spec = ExperimentSpec(
+        config=config_from_args(args),
+        workload=workload_ref_from_args(args),
+        duration=args.duration,
+        drain=args.drain,
     )
+    result = run_experiment(spec)
     print(format_table([result.row()], title=f"{result.label} / {args.workload}"))
     _maybe_save(args, [result])
     return 0
 
 
 def command_compare(args: argparse.Namespace) -> int:
-    rows = []
-    results = {}
-    for label in ("fabric", "fabric++"):
-        args.system = label
-        config = config_from_args(args)
-        result = run_experiment(
-            config, workload_from_args(args), duration=args.duration
-        )
-        results[label] = result
-        rows.append(result.row())
-    print(format_table(rows, title=f"Fabric vs Fabric++ / {args.workload}"))
-    factor = improvement_factor(
-        results["fabric"].successful_tps, results["fabric++"].successful_tps
+    results = compare_fabric_vs_fabricpp(
+        config_from_args(args),
+        workload_ref_from_args(args),
+        duration=args.duration,
+        drain=args.drain,
     )
+    print(format_table(results.rows(), title=f"Fabric vs Fabric++ / {args.workload}"))
+    factor = results.improvement_factor()
     print(f"\nFabric++ successful-throughput improvement: {factor:.2f}x")
-    _maybe_save(args, list(results.values()))
+    _maybe_save(args, results.values())
     return 0
 
 
@@ -200,7 +261,7 @@ def command_caliper(args: argparse.Namespace) -> int:
         config = config_from_args(args)
         report = run_caliper(
             config,
-            workload_from_args(args),
+            workload_ref_from_args(args),
             duration=args.duration,
             rate_per_client=args.rate,
             block_size=min(args.block_size, 512),
@@ -216,6 +277,101 @@ def command_caliper(args: argparse.Namespace) -> int:
         )
     print(format_table(rows, title="Caliper report"))
     return 0
+
+
+def _parse_sweep_axes(args: argparse.Namespace) -> List[tuple]:
+    """Parse ``--sweep KEY=V1,V2`` options into (key, dest, values) axes."""
+    axes: List[tuple] = []
+    for text in args.sweep or []:
+        key, separator, values_text = text.partition("=")
+        key = key.strip()
+        if not separator or key not in SWEEPABLE:
+            known = ", ".join(sorted(SWEEPABLE))
+            raise ValueError(
+                f"bad --sweep {text!r}: expected KEY=V1,V2,... with KEY one of {known}"
+            )
+        dest, caster = SWEEPABLE[key]
+        try:
+            values = [caster(value) for value in values_text.split(",") if value]
+        except ValueError as error:
+            raise ValueError(f"bad --sweep {text!r}: {error}") from error
+        if not values:
+            raise ValueError(f"bad --sweep {text!r}: no values")
+        axes.append((key, dest, values))
+    return axes
+
+
+def command_sweep(args: argparse.Namespace) -> int:
+    try:
+        axes = _parse_sweep_axes(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    systems = [name.strip() for name in args.systems.split(",") if name.strip()]
+    for system in systems:
+        if system not in ("fabric", "fabric++"):
+            print(f"error: unknown system {system!r}", file=sys.stderr)
+            return 2
+    if not systems:
+        print("error: --systems selected nothing", file=sys.stderr)
+        return 2
+
+    specs = []
+    value_axes = [axis[2] for axis in axes]
+    for combo in itertools.product(*value_axes):
+        point = copy.copy(args)
+        point_params = {}
+        for (key, dest, _), value in zip(axes, combo):
+            setattr(point, dest, value)
+            point_params[key] = value
+        for system in systems:
+            point.system = system
+            specs.append(
+                ExperimentSpec(
+                    config=config_from_args(point),
+                    workload=workload_ref_from_args(point),
+                    duration=point.duration,
+                    drain=point.drain,
+                    label="Fabric++" if system == "fabric++" else "Fabric",
+                    params=dict(point_params),
+                )
+            )
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    results = run_sweep(specs, jobs=args.jobs, cache=cache)
+    stats = results.stats
+
+    print(format_table(results.rows(), title=f"sweep / {args.workload}"))
+    if set(systems) == {"fabric", "fabric++"}:
+        print()
+        print(_sweep_factor_table(results, group_size=len(systems)))
+    if stats is not None:
+        print(f"\n{stats.summary_line()}")
+    _maybe_save(args, results.values())
+    return 0
+
+
+def _sweep_factor_table(results, group_size: int) -> str:
+    """Per-grid-point Fabric vs Fabric++ successful-TPS factors."""
+    rows = []
+    ordered = results.values()
+    for start in range(0, len(ordered), group_size):
+        group = {result.label: result for result in ordered[start:start + group_size]}
+        fabric = group.get("Fabric")
+        fabricpp = group.get("Fabric++")
+        if fabric is None or fabricpp is None:
+            continue
+        rows.append(
+            {
+                **fabric.params,
+                "Fabric": fabric.successful_tps,
+                "Fabric++": fabricpp.successful_tps,
+                "factor": improvement_factor(
+                    fabric.successful_tps, fabricpp.successful_tps
+                ),
+            }
+        )
+    return format_table(rows, title="Fabric++ improvement per grid point")
 
 
 def command_verify_ledger(args: argparse.Namespace) -> int:
@@ -258,6 +414,7 @@ COMMANDS = {
     "run": command_run,
     "compare": command_compare,
     "caliper": command_caliper,
+    "sweep": command_sweep,
     "verify-ledger": command_verify_ledger,
 }
 
@@ -265,7 +422,11 @@ COMMANDS = {
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return COMMANDS[args.command](args)
+    try:
+        return COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - module execution guard

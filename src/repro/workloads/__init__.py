@@ -18,12 +18,22 @@ Three workloads drive the evaluation, mirroring the paper's Section 6.2.2:
 from repro.workloads.base import Invocation, Workload
 from repro.workloads.blank import BlankWorkload
 from repro.workloads.custom import CustomWorkload, CustomWorkloadParams
+from repro.workloads.registry import (
+    WorkloadRef,
+    make_workload,
+    register_workload,
+    workload_names,
+)
 from repro.workloads.smallbank import SmallbankParams, SmallbankWorkload
 from repro.workloads.ycsb import YcsbParams, YcsbWorkload
 
 __all__ = [
     "Invocation",
     "Workload",
+    "WorkloadRef",
+    "make_workload",
+    "register_workload",
+    "workload_names",
     "BlankWorkload",
     "CustomWorkload",
     "CustomWorkloadParams",

@@ -1,0 +1,124 @@
+"""Tests for the on-disk result cache and its fingerprint."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.bench.cache import ResultCache, spec_fingerprint
+from repro.bench.harness import run_experiment
+from repro.bench.spec import ExperimentSpec
+from repro.core.batch_cutter import BatchCutConfig
+from repro.fabric.config import FabricConfig
+from repro.workloads.blank import BlankWorkload
+from repro.workloads.registry import WorkloadRef
+
+
+def small_spec(**overrides):
+    base = dict(
+        config=replace(
+            FabricConfig(),
+            clients_per_channel=1,
+            client_rate=100.0,
+            batch=BatchCutConfig(max_transactions=32),
+        ),
+        workload=WorkloadRef("blank"),
+        duration=1.0,
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+def test_fingerprint_is_stable_and_label_blind():
+    spec = small_spec()
+    assert spec_fingerprint(spec) == spec_fingerprint(spec)
+    # Labels and report params identify the row, not the simulation.
+    relabeled = small_spec(label="other", params={"BS": 32})
+    assert spec_fingerprint(relabeled) == spec_fingerprint(spec)
+
+
+def test_fingerprint_changes_with_every_input():
+    base = spec_fingerprint(small_spec())
+    changed = [
+        small_spec(duration=2.0),
+        small_spec(drain=1.0),
+        small_spec(seed=5),
+        small_spec(config=small_spec().config.with_fabric_plus_plus()),
+        small_spec(workload=WorkloadRef("custom", {"num_accounts": 300})),
+        small_spec(workload=WorkloadRef("blank", seed=1)),
+    ]
+    fingerprints = [spec_fingerprint(spec) for spec in changed]
+    assert base not in fingerprints
+    assert len(set(fingerprints)) == len(fingerprints)
+
+
+def test_fingerprint_rejects_non_cacheable_specs():
+    with pytest.raises(TypeError):
+        spec_fingerprint(small_spec(workload=BlankWorkload()))
+
+
+def test_cache_hit_reproduces_result_exactly(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = small_spec(label="Fabric", params={"BS": 32})
+    assert cache.get(spec) is None
+    result = run_experiment(spec)
+    assert cache.put(spec, result)
+    assert len(cache) == 1
+    hit = cache.get(spec)
+    assert hit is not None
+    assert hit.row() == result.row()
+    assert hit.config == result.config
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_cache_misses_on_any_spec_change(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = small_spec()
+    cache.put(spec, run_experiment(spec))
+    assert cache.get(small_spec(duration=2.0)) is None
+    assert cache.get(small_spec(seed=3)) is None
+    assert (
+        cache.get(small_spec(config=spec.config.with_fabric_plus_plus()))
+        is None
+    )
+
+
+def test_version_bump_invalidates(tmp_path):
+    old = ResultCache(tmp_path, version="1.0")
+    spec = small_spec()
+    old.put(spec, run_experiment(spec))
+    assert old.get(spec) is not None
+    new = ResultCache(tmp_path, version="2.0")
+    assert new.get(spec) is None
+
+
+def test_cache_ignores_non_cacheable_specs(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = small_spec(workload=BlankWorkload())
+    assert cache.key(spec) is None
+    assert not cache.put(spec, run_experiment(small_spec()))
+    assert cache.get(spec) is None
+    assert len(cache) == 0
+
+
+def test_corrupt_entry_degrades_to_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = small_spec()
+    cache.put(spec, run_experiment(spec))
+    entry = next(tmp_path.glob("*.json"))
+    entry.write_text("{not json")
+    assert cache.get(spec) is None
+    assert not entry.exists()  # the damaged file was removed
+
+
+def test_clear_removes_everything(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = small_spec()
+    cache.put(spec, run_experiment(spec))
+    assert cache.clear() == 1
+    assert len(cache) == 0
+
+
+def test_cache_dir_env_override(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+    cache = ResultCache()
+    assert cache.root == tmp_path / "elsewhere"

@@ -115,13 +115,15 @@ def test_run_replicated_aggregates():
             seed=seed,
         )
 
-    result = run_replicated(config, factory, seeds=[1, 2, 3], duration=1.5)
-    assert len(result.successful_tps_values) == 3
-    assert result.mean_successful_tps > 0
-    assert result.stdev_successful_tps >= 0
-    row = result.row()
-    assert row["replicas"] == 3
-    assert row["label"] == "Fabric"
+    results = run_replicated(config, factory, seeds=[1, 2, 3], duration=1.5)
+    stats = results.aggregate("successful_tps")
+    assert stats["n"] == 3
+    assert len(stats["values"]) == 3
+    assert stats["mean"] > 0
+    assert stats["stdev"] >= 0
+    assert len(results.rows()) == 3
+    assert all(result.label == "Fabric" for result in results.values())
+    assert [result.params["seed"] for result in results.values()] == [1, 2, 3]
 
 
 def test_run_replicated_varies_with_seed():
@@ -138,8 +140,8 @@ def test_run_replicated_varies_with_seed():
             seed=seed,
         )
 
-    result = run_replicated(config, factory, seeds=[1, 2], duration=1.5)
-    assert len(set(result.successful_tps_values)) > 1
+    results = run_replicated(config, factory, seeds=[1, 2], duration=1.5)
+    assert len(set(results.aggregate("successful_tps")["values"])) > 1
 
 
 def test_run_replicated_requires_seeds():

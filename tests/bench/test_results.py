@@ -1,0 +1,119 @@
+"""Tests for the unified ResultSet and its serialisation helpers."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.bench.results import (
+    ExperimentResult,
+    ResultSet,
+    config_from_dict,
+    config_to_dict,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.errors import ReproError
+from repro.fabric.config import FabricConfig
+from repro.fabric.metrics import PipelineMetrics, TxOutcome
+
+
+def make_result(label, successes=10, failures=2, duration=2.0, params=None):
+    metrics = PipelineMetrics()
+    # Outcome times stay inside the measurement window so the windowed
+    # throughput counts every recorded outcome.
+    for index in range(successes):
+        metrics.record_fired()
+        metrics.record_outcome(
+            TxOutcome.COMMITTED, 0.1, now=duration * index / (successes + 1)
+        )
+    for index in range(failures):
+        metrics.record_fired()
+        metrics.record_outcome(
+            TxOutcome.ABORT_MVCC, now=duration * index / (failures + 1)
+        )
+    metrics.duration = duration
+    return ExperimentResult(
+        label=label,
+        config=FabricConfig(),
+        metrics=metrics,
+        duration=duration,
+        params=dict(params or {}),
+    )
+
+
+def test_mapping_style_access():
+    rs = ResultSet([make_result("Fabric", 10), make_result("Fabric++", 20)])
+    assert set(rs) == {"Fabric", "Fabric++"}
+    assert "Fabric" in rs
+    assert rs["Fabric++"].successful_tps > rs["Fabric"].successful_tps
+    assert rs[0].label == "Fabric"
+    assert rs.get("nope") is None
+    with pytest.raises(KeyError):
+        rs["nope"]
+    assert dict(rs.items())["Fabric"].label == "Fabric"
+
+
+def test_labels_and_select():
+    rs = ResultSet(
+        [make_result("Fabric", params={"BS": 16}),
+         make_result("Fabric++", params={"BS": 16}),
+         make_result("Fabric", params={"BS": 64})]
+    )
+    assert rs.labels() == ["Fabric", "Fabric++"]
+    assert len(rs.select("Fabric")) == 2
+    assert all(r.label == "Fabric" for r in rs.select("Fabric").values())
+
+
+def test_rows_carry_labels_and_params():
+    rs = ResultSet([make_result("Fabric", params={"BS": 16})])
+    row = rs.rows()[0]
+    assert row["label"] == "Fabric"
+    assert row["BS"] == 16
+    assert "successful_tps" in row
+
+
+def test_json_round_trip_is_exact():
+    rs = ResultSet([make_result("Fabric", 7, 3, params={"s": 0.5}),
+                    make_result("Fabric++", 13, 1)])
+    clone = ResultSet.from_json(rs.to_json())
+    assert clone.rows() == rs.rows()
+    assert [r.config for r in clone.values()] == [r.config for r in rs.values()]
+
+
+def test_from_json_rejects_other_schemas():
+    with pytest.raises(ReproError):
+        ResultSet.from_json('{"schema_version": 999, "results": []}')
+    with pytest.raises(ReproError):
+        ResultSet.from_json("not json at all")
+
+
+def test_improvement_factor():
+    rs = ResultSet([make_result("Fabric", 10), make_result("Fabric++", 30)])
+    assert rs.improvement_factor() == pytest.approx(3.0)
+
+
+def test_aggregate_mean_and_stdev():
+    rs = ResultSet([make_result("Fabric", 10), make_result("Fabric", 20)])
+    stats = rs.aggregate("successful_tps", label="Fabric")
+    assert stats["n"] == 2
+    assert stats["mean"] == pytest.approx(sum(stats["values"]) / 2)
+    assert stats["stdev"] > 0
+    assert rs.aggregate(label="missing") == {
+        "n": 0, "mean": 0.0, "stdev": 0.0, "values": []
+    }
+
+
+def test_config_round_trip_preserves_nested_dataclasses():
+    config = replace(FabricConfig(), seed=42).with_fabric_plus_plus()
+    clone = config_from_dict(config_to_dict(config))
+    assert clone == config
+    assert clone.batch == config.batch
+    assert clone.costs == config.costs
+
+
+def test_result_round_trip_preserves_metrics():
+    result = make_result("Fabric++", 5, 4, params={"k": "v"})
+    clone = result_from_dict(result_to_dict(result))
+    assert clone.row() == result.row()
+    assert clone.metrics.commit_latencies == result.metrics.commit_latencies
+    assert clone.metrics.outcome_times == result.metrics.outcome_times

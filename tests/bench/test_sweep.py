@@ -1,0 +1,112 @@
+"""Tests for the sweep engine: determinism, caching, parallel_map."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.bench.cache import ResultCache
+from repro.bench.spec import ExperimentSpec
+from repro.bench.sweep import parallel_map, resolve_jobs, run_sweep
+from repro.core.batch_cutter import BatchCutConfig
+from repro.errors import ConfigError
+from repro.fabric.config import FabricConfig
+from repro.workloads.registry import WorkloadRef
+
+
+def small_grid():
+    """A tiny Fabric-vs-Fabric++ grid over two block sizes (4 points)."""
+    specs = []
+    for block_size in (16, 32):
+        config = replace(
+            FabricConfig(),
+            clients_per_channel=1,
+            client_rate=100.0,
+            batch=BatchCutConfig(max_transactions=block_size),
+        )
+        workload = WorkloadRef(
+            "custom", {"num_accounts": 300, "hot_set_fraction": 0.05}
+        )
+        for system in (config.with_vanilla(), config.with_fabric_plus_plus()):
+            specs.append(
+                ExperimentSpec(
+                    config=system,
+                    workload=workload,
+                    duration=1.0,
+                    params={"BS": block_size},
+                )
+            )
+    return specs
+
+
+def test_parallel_identical_to_serial():
+    """The headline guarantee: rows are independent of --jobs."""
+    serial = run_sweep(small_grid(), jobs=1, progress=False)
+    parallel = run_sweep(small_grid(), jobs=4, progress=False)
+    assert parallel.rows() == serial.rows()
+    assert parallel.to_json() == serial.to_json()
+
+
+def test_sweep_preserves_spec_order():
+    results = run_sweep(small_grid(), jobs=4, progress=False)
+    assert [r.label for r in results.values()] == [
+        "Fabric", "Fabric++", "Fabric", "Fabric++"
+    ]
+    assert [r.params["BS"] for r in results.values()] == [16, 16, 32, 32]
+
+
+def test_sweep_stats_and_cache_second_run(tmp_path):
+    cache = ResultCache(tmp_path)
+    first = run_sweep(small_grid(), jobs=2, cache=cache, progress=False)
+    assert first.stats.executed == 4
+    assert first.stats.cached == 0
+    second = run_sweep(small_grid(), jobs=2, cache=cache, progress=False)
+    assert second.stats.executed == 0
+    assert second.stats.cached == 4
+    assert second.rows() == first.rows()
+    assert second.to_json() == first.to_json()
+
+
+def test_sweep_cache_true_uses_cache_dir(tmp_path):
+    run_sweep(small_grid()[:1], cache=True, cache_dir=tmp_path, progress=False)
+    assert len(list(tmp_path.glob("*.json"))) == 1
+
+
+def test_sweep_partial_cache_reuses_only_matches(tmp_path):
+    cache = ResultCache(tmp_path)
+    run_sweep(small_grid()[:2], cache=cache, progress=False)
+    results = run_sweep(small_grid(), cache=cache, progress=False)
+    assert results.stats.cached == 2
+    assert results.stats.executed == 2
+    assert len(results) == 4
+
+
+def test_sweep_without_cache_always_executes():
+    results = run_sweep(small_grid()[:1], progress=False)
+    assert results.stats.executed == 1
+    assert results.stats.cached == 0
+
+
+def test_resolve_jobs():
+    assert resolve_jobs(3) == 3
+    assert resolve_jobs(0) >= 1
+    assert resolve_jobs(None) >= 1
+    with pytest.raises(ConfigError):
+        resolve_jobs(-1)
+
+
+def _square(value):  # module-level: must pickle to worker processes
+    return value * value
+
+
+def test_parallel_map_ordered_and_identical():
+    items = list(range(12))
+    serial = parallel_map(_square, items, jobs=1, progress=False)
+    fanned = parallel_map(_square, items, jobs=4, progress=False)
+    assert serial == [v * v for v in items]
+    assert fanned == serial
+
+
+def test_progress_lines_report_points(capsys):
+    parallel_map(_square, [1, 2], jobs=1, progress=True, label="demo")
+    err = capsys.readouterr().err
+    assert "[1/2]" in err and "[2/2]" in err and "demo" in err

@@ -161,6 +161,77 @@ def test_verify_ledger_detects_tampering(tmp_path, capsys):
     assert "INVALID" in capsys.readouterr().out
 
 
+def _sweep_argv(tmp_path, jobs):
+    return [
+        "sweep", "--workload", "custom", "--accounts", "400",
+        "--clients", "1", "--client-rate", "100", "--duration", "1",
+        "--block-size", "32", "--sweep", "block-size=16,32",
+        "--jobs", str(jobs), "--cache-dir", str(tmp_path / "cache"),
+    ]
+
+
+def _table_lines(output):
+    """The deterministic part of sweep output (drop the timing summary)."""
+    return [line for line in output.splitlines() if "point(s):" not in line]
+
+
+def test_sweep_command_parallel_matches_serial(tmp_path, capsys):
+    assert main(_sweep_argv(tmp_path / "serial", jobs=1)) == 0
+    serial = capsys.readouterr().out
+    assert main(_sweep_argv(tmp_path / "parallel", jobs=2)) == 0
+    parallel = capsys.readouterr().out
+    assert _table_lines(parallel) == _table_lines(serial)
+    assert "sweep / custom" in serial
+    assert "improvement per grid point" in serial
+
+
+def test_sweep_command_second_run_hits_cache(tmp_path, capsys):
+    assert main(_sweep_argv(tmp_path, jobs=2)) == 0
+    first = capsys.readouterr().out
+    assert "4 point(s): 4 simulated, 0 from cache" in first
+    assert main(_sweep_argv(tmp_path, jobs=2)) == 0
+    second = capsys.readouterr().out
+    assert "4 point(s): 0 simulated, 4 from cache" in second
+    assert _table_lines(second) == _table_lines(first)
+
+
+def test_sweep_command_no_cache(tmp_path, capsys):
+    argv = _sweep_argv(tmp_path, jobs=1) + ["--no-cache"]
+    assert main(argv) == 0
+    assert main(argv) == 0
+    output = capsys.readouterr().out
+    assert "4 simulated, 0 from cache" in output
+    assert not (tmp_path / "cache").exists()
+
+
+def test_sweep_command_single_system(tmp_path, capsys):
+    argv = _sweep_argv(tmp_path, jobs=1) + ["--systems", "fabric"]
+    assert main(argv) == 0
+    output = capsys.readouterr().out
+    assert "improvement per grid point" not in output
+    assert "2 point(s)" in output
+
+
+def test_sweep_command_rejects_bad_axis(tmp_path, capsys):
+    argv = _sweep_argv(tmp_path, jobs=1)
+    argv[argv.index("block-size=16,32")] = "warp-speed=9"
+    assert main(argv) == 2
+    assert "bad --sweep" in capsys.readouterr().err
+
+
+def test_sweep_command_rejects_bad_system(tmp_path, capsys):
+    argv = _sweep_argv(tmp_path, jobs=1) + ["--systems", "fabric,quorum"]
+    assert main(argv) == 2
+    assert "unknown system" in capsys.readouterr().err
+
+
+def test_drain_flag_forwarded():
+    args = parse(["run", "--drain", "7.5"])
+    assert args.drain == 7.5
+    args = parse(["sweep", "--drain", "0"])
+    assert args.drain == 0.0
+
+
 def test_ycsb_workload_via_cli():
     args = parse(["run", "--workload", "ycsb", "--ycsb-preset", "b",
                   "--records", "500"])
