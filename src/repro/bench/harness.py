@@ -54,16 +54,31 @@ def run_experiment(
             params=dict(params or {}),
             drain=DEFAULT_DRAIN if drain is None else drain,
         )
-    config = experiment.resolved_config()
-    network = FabricNetwork(config, experiment.build_workload())
-    metrics = network.run(duration=experiment.duration, drain=experiment.drain)
-    return ExperimentResult(
-        label=experiment.resolved_label(),
+    result, _network = run_experiment_with_network(experiment)
+    return result
+
+
+def run_experiment_with_network(
+    spec: ExperimentSpec,
+) -> "tuple[ExperimentResult, FabricNetwork]":
+    """Run one spec and return the result *and* the live network.
+
+    The network gives callers post-run access to the peers — for ledger
+    export (``repro-bench run --export-ledger``), crash-recovery oracle
+    checks, and fault forensics. Plain sweeps should use
+    :func:`run_experiment`; a live network is not picklable.
+    """
+    config = spec.resolved_config()
+    network = FabricNetwork(config, spec.build_workload())
+    metrics = network.run(duration=spec.duration, drain=spec.drain)
+    result = ExperimentResult(
+        label=spec.resolved_label(),
         config=config,
         metrics=metrics,
-        duration=experiment.duration,
-        params=dict(experiment.params),
+        duration=spec.duration,
+        params=dict(spec.params),
     )
+    return result, network
 
 
 def run_replicated(

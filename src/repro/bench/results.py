@@ -19,6 +19,7 @@ from repro.core.batch_cutter import BatchCutConfig
 from repro.errors import ReproError
 from repro.fabric.config import CostModel, FabricConfig
 from repro.fabric.metrics import PipelineMetrics, TxOutcome
+from repro.faults import schedule_from_dict
 
 #: Schema version stamped into serialised result sets; bump on breaking change.
 RESULTSET_SCHEMA = 1
@@ -67,7 +68,8 @@ def config_from_dict(data: Dict[str, object]) -> FabricConfig:
     data = dict(data)
     batch = BatchCutConfig(**data.pop("batch"))
     costs = CostModel(**data.pop("costs"))
-    return FabricConfig(batch=batch, costs=costs, **data)
+    faults = schedule_from_dict(data.pop("faults", {}))
+    return FabricConfig(batch=batch, costs=costs, faults=faults, **data)
 
 
 def metrics_to_dict(metrics: PipelineMetrics) -> Dict[str, object]:
@@ -85,6 +87,8 @@ def metrics_to_dict(metrics: PipelineMetrics) -> Dict[str, object]:
         "blocks_committed": metrics.blocks_committed,
         "block_sizes": list(metrics.block_sizes),
         "duration": metrics.duration,
+        "fault_counters": dict(metrics.fault_counters),
+        "fault_events": [list(event) for event in metrics.fault_events],
     }
 
 
@@ -102,6 +106,9 @@ def metrics_from_dict(data: Dict[str, object]) -> PipelineMetrics:
     metrics.blocks_committed = data["blocks_committed"]
     metrics.block_sizes = list(data["block_sizes"])
     metrics.duration = data["duration"]
+    # Absent in pre-fault snapshots (and cache entries written by them).
+    metrics.fault_counters = dict(data.get("fault_counters", {}))
+    metrics.fault_events = [tuple(event) for event in data.get("fault_events", [])]
     return metrics
 
 

@@ -32,8 +32,9 @@ from repro.bench.report import format_table, improvement_factor
 from repro.bench.spec import ExperimentSpec
 from repro.bench.sweep import run_sweep
 from repro.core.batch_cutter import BatchCutConfig
-from repro.errors import ReproError
+from repro.errors import ConfigError, ReproError
 from repro.fabric.config import FabricConfig
+from repro.faults import CrashWindow, FaultSchedule, StallWindow
 from repro.workloads.base import Workload
 from repro.workloads.registry import WorkloadRef
 
@@ -54,6 +55,8 @@ SWEEPABLE = {
     "hw": ("hw", float),
     "hss": ("hss", float),
     "records": ("records", int),
+    "drop-rate": ("drop_rate", float),
+    "jitter": ("jitter", float),
 }
 
 
@@ -74,6 +77,13 @@ def build_parser() -> argparse.ArgumentParser:
         sub = subcommands.add_parser(name, help=help_text)
         _add_workload_arguments(sub)
         _add_system_arguments(sub, with_system=(name == "run"))
+        _add_fault_arguments(sub)
+        if name == "run":
+            sub.add_argument(
+                "--export-ledger", metavar="PATH", default=None,
+                help="export the reference peer's verified ledger to PATH "
+                     "as JSON (multi-channel runs add a .<channel> suffix)",
+            )
         sub.add_argument(
             "--duration", type=float, default=3.0,
             help="simulated seconds to fire the workload (default 3)",
@@ -168,6 +178,91 @@ def _add_system_arguments(sub: argparse.ArgumentParser, with_system: bool) -> No
     sub.add_argument("--channels", type=int, default=1)
     sub.add_argument("--client-rate", type=float, default=512.0,
                      help="proposals per second per client")
+    sub.add_argument("--policy", default=None, metavar="SPEC",
+                     help="endorsement policy: all, any, or outof:K "
+                          "(default: AND over every org)")
+    sub.add_argument("--max-resubmits", type=int, default=None, metavar="N",
+                     help="cap on resubmissions per failed business intent; "
+                          "negative = retry forever (default 16)")
+
+
+def _add_fault_arguments(sub: argparse.ArgumentParser) -> None:
+    """Deterministic fault-injection knobs (default: inject nothing)."""
+    sub.add_argument(
+        "--crash", action="append", default=None, metavar="PEER@AT+DUR",
+        help="crash PEER at simulated second AT for DUR seconds, e.g. "
+             "peer1.OrgA@0.5+1.0; repeatable",
+    )
+    sub.add_argument(
+        "--stall", action="append", default=None, metavar="AT+DUR",
+        help="stall the ordering service at AT for DUR seconds; repeatable",
+    )
+    sub.add_argument(
+        "--drop-rate", type=float, default=0.0,
+        help="probability that a faulty-link message is lost (default 0)",
+    )
+    sub.add_argument(
+        "--jitter", type=float, default=0.0,
+        help="mean exponential extra latency per faulty-link message "
+             "(seconds, default 0)",
+    )
+    sub.add_argument(
+        "--endorse-timeout", type=float, default=None,
+        help="client endorsement deadline in simulated seconds (default "
+             "0.05 when any fault flag is set, else disabled)",
+    )
+    sub.add_argument(
+        "--endorse-retries", type=int, default=3,
+        help="endorsement rounds retried with backoff before giving up "
+             "(default 3)",
+    )
+
+
+def _parse_crash_window(text: str) -> CrashWindow:
+    peer, at_sep, rest = text.partition("@")
+    at_text, dur_sep, dur_text = rest.partition("+")
+    if not (peer.strip() and at_sep and dur_sep):
+        raise ConfigError(f"bad --crash {text!r}: expected PEER@AT+DUR")
+    try:
+        return CrashWindow(
+            peer=peer.strip(), at=float(at_text), duration=float(dur_text)
+        )
+    except ValueError as error:
+        raise ConfigError(f"bad --crash {text!r}: {error}") from error
+
+
+def _parse_stall_window(text: str) -> StallWindow:
+    at_text, separator, dur_text = text.partition("+")
+    if not separator:
+        raise ConfigError(f"bad --stall {text!r}: expected AT+DUR")
+    try:
+        return StallWindow(at=float(at_text), duration=float(dur_text))
+    except ValueError as error:
+        raise ConfigError(f"bad --stall {text!r}: {error}") from error
+
+
+def faults_from_args(args: argparse.Namespace) -> FaultSchedule:
+    """Build the fault schedule the arguments describe (all-zero default)."""
+    crashes = tuple(
+        _parse_crash_window(text) for text in getattr(args, "crash", None) or []
+    )
+    stalls = tuple(
+        _parse_stall_window(text) for text in getattr(args, "stall", None) or []
+    )
+    drop_rate = getattr(args, "drop_rate", 0.0)
+    jitter = getattr(args, "jitter", 0.0)
+    timeout = getattr(args, "endorse_timeout", None)
+    if timeout is None:
+        # Any injected fault needs a client-side deadline to stay live.
+        timeout = 0.05 if (crashes or stalls or drop_rate or jitter) else 0.0
+    return FaultSchedule(
+        crashes=crashes,
+        stalls=stalls,
+        drop_probability=drop_rate,
+        jitter_mean=jitter,
+        endorsement_timeout=timeout,
+        max_endorsement_retries=getattr(args, "endorse_retries", 3),
+    )
 
 
 def workload_ref_from_args(args: argparse.Namespace) -> WorkloadRef:
@@ -221,21 +316,46 @@ def config_from_args(args: argparse.Namespace) -> FabricConfig:
         num_channels=args.channels,
         client_rate=args.client_rate,
         seed=args.seed,
+        endorsement_policy=getattr(args, "policy", None),
+        faults=faults_from_args(args),
     )
+    max_resubmits = getattr(args, "max_resubmits", None)
+    if max_resubmits is not None:
+        config = replace(
+            config,
+            max_resubmits=None if max_resubmits < 0 else max_resubmits,
+        )
     if getattr(args, "system", "fabric") == "fabric++":
         config = config.with_fabric_plus_plus()
     return config
 
 
 def command_run(args: argparse.Namespace) -> int:
+    from repro.bench.harness import run_experiment_with_network
+
     spec = ExperimentSpec(
         config=config_from_args(args),
         workload=workload_ref_from_args(args),
         duration=args.duration,
         drain=args.drain,
     )
-    result = run_experiment(spec)
+    result, network = run_experiment_with_network(spec)
     print(format_table([result.row()], title=f"{result.label} / {args.workload}"))
+    if result.metrics.fault_events:
+        print("\nfault events:")
+        for time, kind, subject in result.metrics.fault_events:
+            print(f"  t={time:8.3f}s  {kind:<17s} {subject}")
+    if args.export_ledger:
+        from repro.ledger.export import save_ledger
+
+        for channel in network.channels:
+            path = (
+                args.export_ledger
+                if len(network.channels) == 1
+                else f"{args.export_ledger}.{channel}"
+            )
+            save_ledger(path, network.reference_peer.channels[channel].ledger)
+            print(f"\nexported {channel} ledger to {path}")
     _maybe_save(args, [result])
     return 0
 
@@ -375,11 +495,19 @@ def _sweep_factor_table(results, group_size: int) -> str:
 
 
 def command_verify_ledger(args: argparse.Namespace) -> int:
-    from repro.errors import LedgerError
+    from repro.errors import LedgerError, LedgerVerificationError
     from repro.ledger.export import load_ledger
 
     try:
         ledger = load_ledger(args.path)
+    except LedgerVerificationError as error:
+        where = (
+            f" at block index {error.block_index}"
+            if error.block_index is not None
+            else ""
+        )
+        print(f"INVALID{where}: {error}")
+        return 1
     except LedgerError as error:
         print(f"INVALID: {error}")
         return 1

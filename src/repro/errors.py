@@ -13,6 +13,15 @@ class LedgerError(ReproError):
     """Raised for violations of ledger invariants (broken hash chain, etc.)."""
 
 
+class LedgerVerificationError(LedgerError):
+    """Raised when an exported ledger file is truncated, corrupt, or fails
+    verification; carries the offending block index when known."""
+
+    def __init__(self, message: str, block_index=None) -> None:
+        super().__init__(message)
+        self.block_index = block_index
+
+
 class StateError(ReproError):
     """Raised for invalid operations on the state database."""
 

@@ -12,6 +12,13 @@ client stubs, so the number of unresolved proposals per client is bounded.
 until an outcome (commit, abort, or early abort) frees a slot. Fabric++'s
 early aborts therefore recycle client capacity sooner, one of the ways the
 paper's optimizations lift successful throughput.
+
+Robustness: when a fault schedule is active the client switches to a
+fault-tolerant endorsement collection — a per-round deadline, bounded
+retries with exponential backoff and seeded jitter, and graceful
+degradation to whatever surviving endorsements still satisfy the policy
+(``OutOf`` commits from k of n). The healthy path is untouched so
+fault-free runs stay bit-identical.
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ from repro.fabric.orderer import OrderingService
 from repro.fabric.peer import EndorseReply, Peer
 from repro.fabric.policy import EndorsementPolicy
 from repro.fabric.transaction import Proposal, Transaction
+from repro.faults import FaultInjector
 from repro.sim.distributions import Rng
 from repro.sim.engine import Environment, Event
 from repro.sim.resources import Resource
@@ -48,7 +56,9 @@ class Client:
         orderer: OrderingService,
         machine_cpu: Resource,
         metrics: PipelineMetrics,
-        register_pending: Callable[[str, "Client", float], None],
+        register_pending: Callable[..., None],
+        faults: Optional[FaultInjector] = None,
+        fault_rng: Optional[Rng] = None,
     ) -> None:
         self.env = env
         self.identity = identity
@@ -61,6 +71,8 @@ class Client:
         self.machine_cpu = machine_cpu
         self.metrics = metrics
         self._register_pending = register_pending
+        self.faults = faults
+        self.fault_rng = fault_rng
         # Round-robin endorser choice per org, as real SDKs load-balance.
         self._endorser_cycles = {
             org: itertools.cycle(list(peers))
@@ -102,7 +114,7 @@ class Client:
                 # now rather than releasing a burst of make-up proposals.
                 next_fire = self.env.now
 
-    def _fire_one(self) -> None:
+    def _fire_one(self, retries: int = 0) -> None:
         invocation = self.workload.next_invocation(self.rng)
         self._sequence += 1
         proposal = Proposal(
@@ -117,12 +129,16 @@ class Client:
         self.metrics.record_fired()
         self._in_flight += 1
         self.env.process(
-            self._submit(proposal), name=f"{self.identity.name}/submit"
+            self._submit(proposal, retries), name=f"{self.identity.name}/submit"
         )
 
     # -- one proposal's lifecycle ----------------------------------------------------
 
-    def _submit(self, proposal: Proposal) -> Generator:
+    def _submit(self, proposal: Proposal, retries: int = 0) -> Generator:
+        if self.faults is not None and self.config.faults.endorsement_timeout > 0:
+            yield from self._submit_robust(proposal, retries)
+            return
+
         costs = self.config.costs
         yield from self.machine_cpu.use(costs.client_proposal)
 
@@ -140,7 +156,7 @@ class Client:
             # Fabric++: a stale simulation was aborted at the endorser; the
             # client learns immediately and the slot frees without the
             # proposal ever touching the orderer (Section 5.2.1).
-            self.resolve(proposal, TxOutcome.EARLY_ABORT_SIM)
+            self.resolve(proposal, TxOutcome.EARLY_ABORT_SIM, retries=retries)
             return
 
         yield from self.machine_cpu.use(
@@ -151,7 +167,7 @@ class Client:
         if any(e.rwset != reference for e in endorsements[1:]):
             # Non-determinism or a tampering endorser: the read/write sets
             # disagree, so no transaction can be formed (Section 2.2.1).
-            self.resolve(proposal, TxOutcome.ENDORSEMENT_MISMATCH)
+            self.resolve(proposal, TxOutcome.ENDORSEMENT_MISMATCH, retries=retries)
             return
 
         transaction = Transaction(
@@ -161,15 +177,146 @@ class Client:
             endorsements=endorsements,
             assembled_at=self.env.now,
         )
-        self._register_pending(transaction.tx_id, self, proposal.submitted_at)
+        self._register_pending(
+            transaction.tx_id, self, proposal.submitted_at, retries
+        )
         yield self.env.timeout(costs.net_message)
         self.orderer.submit(transaction)
+
+    # -- fault-tolerant endorsement collection -----------------------------------------
+
+    def _submit_robust(self, proposal: Proposal, retries: int) -> Generator:
+        """Endorsement collection under faults (timeout / retry / degrade).
+
+        Each round ships the proposal to one peer of *every* org the
+        policy mentions and races the replies against the endorsement
+        deadline. The round succeeds as soon as the collected replies
+        satisfy the policy — possibly a strict subset of the contacted
+        endorsers (``OutOf`` graceful degradation). Unsatisfiable rounds
+        are retried with exponential backoff and seeded jitter, up to
+        ``max_endorsement_retries``; exhaustion resolves the proposal as
+        :attr:`TxOutcome.ENDORSEMENT_TIMEOUT`.
+        """
+        costs = self.config.costs
+        schedule = self.config.faults
+        yield from self.machine_cpu.use(costs.client_proposal)
+
+        for attempt in range(schedule.max_endorsement_retries + 1):
+            endorsers = self._pick_robust_endorsers()
+            asks = [
+                self.env.process(
+                    self._ask_endorser(peer, proposal),
+                    name=f"{self.identity.name}/ask/{peer.name}",
+                )
+                for peer in endorsers
+            ]
+            gate = self.env.all_of(asks)
+            deadline = self.env.timeout(schedule.endorsement_timeout)
+            index, _ = yield self.env.any_of([gate, deadline])
+            if index == 0:
+                replies: List[EndorseReply] = [
+                    reply for reply in gate.value if reply is not None
+                ]
+            else:
+                self.faults.record("endorsement_timeouts")
+                replies = [
+                    ask.value
+                    for ask in asks
+                    if ask.triggered and ask.value is not None
+                ]
+
+            if any(reply.early_aborted for reply in replies):
+                self.resolve(proposal, TxOutcome.EARLY_ABORT_SIM, retries=retries)
+                return
+
+            endorsements = [reply.endorsement for reply in replies]
+            orgs = frozenset(e.org for e in endorsements)
+            if endorsements and self.policy.satisfied_by(orgs):
+                if len(endorsements) < len(endorsers):
+                    # Fewer endorsers answered than were asked, but the
+                    # policy still holds: commit from the survivors.
+                    self.faults.record("degraded_endorsements")
+                yield from self.machine_cpu.use(
+                    costs.client_verify_endorsement * len(endorsements)
+                )
+                reference = endorsements[0].rwset
+                if any(e.rwset != reference for e in endorsements[1:]):
+                    self.resolve(
+                        proposal, TxOutcome.ENDORSEMENT_MISMATCH, retries=retries
+                    )
+                    return
+                transaction = Transaction(
+                    tx_id=proposal.proposal_id,
+                    proposal=proposal,
+                    rwset=reference,
+                    endorsements=endorsements,
+                    assembled_at=self.env.now,
+                )
+                self._register_pending(
+                    transaction.tx_id, self, proposal.submitted_at, retries
+                )
+                yield self.env.timeout(costs.net_message)
+                self.orderer.submit(transaction)
+                return
+
+            if attempt < schedule.max_endorsement_retries:
+                self.faults.record("endorsement_retries")
+                backoff = schedule.retry_backoff_base * (
+                    schedule.retry_backoff_factor ** attempt
+                )
+                if schedule.retry_backoff_jitter > 0:
+                    backoff *= (
+                        1.0 + schedule.retry_backoff_jitter * self.fault_rng.random()
+                    )
+                yield self.env.timeout(backoff)
+
+        self.faults.record("endorsements_failed")
+        self.resolve(proposal, TxOutcome.ENDORSEMENT_TIMEOUT, retries=retries)
+
+    def _ask_endorser(self, peer: Peer, proposal: Proposal) -> Generator:
+        """One endorser exchange over a faulty link.
+
+        Returns the reply, or ``None`` when the peer was down or either
+        message was lost. A lost message leaves this ask pending past the
+        round deadline (the client cannot observe a drop directly — it
+        surfaces as a timeout, exactly as on a real network); a down peer
+        answers immediately, like a refused connection.
+        """
+        costs = self.config.costs
+        schedule = self.config.faults
+        delay = self.faults.message_delay(costs.net_message)
+        if delay is None:
+            yield self.env.timeout(schedule.endorsement_timeout)
+            return None
+        yield self.env.timeout(delay)
+        reply = yield peer.endorse(self.channel, proposal)
+        if reply.down:
+            self.faults.record("endorsements_refused")
+            return None
+        back = self.faults.message_delay(costs.net_message)
+        if back is None:
+            yield self.env.timeout(schedule.endorsement_timeout)
+            return None
+        yield self.env.timeout(back)
+        return reply
 
     def _pick_endorsers(self) -> List[Peer]:
         """One peer per org required by the endorsement policy."""
         return [
             next(self._endorser_cycles[org])
             for org in sorted(self.policy.required_orgs())
+        ]
+
+    def _pick_robust_endorsers(self) -> List[Peer]:
+        """One peer from every org the policy *mentions*.
+
+        Contacting more than the cheapest satisfying set is what makes
+        ``OutOf`` degradation possible: when an endorser is down, the
+        surviving replies may still satisfy the policy.
+        """
+        return [
+            next(self._endorser_cycles[org])
+            for org in sorted(self.policy.mentioned_orgs())
         ]
 
     # -- outcome handling --------------------------------------------------------------
@@ -179,11 +326,14 @@ class Client:
         proposal_or_submitted: object,
         outcome: TxOutcome,
         submitted_at: Optional[float] = None,
+        retries: int = 0,
     ) -> None:
         """Record a terminal outcome and free the client slot.
 
         Called either directly (early sim abort, mismatch) with the
         proposal, or by the network resolver with the submission time.
+        ``retries`` counts how often this business intent has already
+        been resubmitted.
         """
         if submitted_at is None:
             submitted_at = proposal_or_submitted.submitted_at
@@ -193,6 +343,13 @@ class Client:
         if self._slot_waiter is not None and not self._slot_waiter.triggered:
             self._slot_waiter.succeed()
         if self.config.resubmit_failed and not outcome.is_success and not self._stopped:
-            # Immediate resubmission of the failed business intent as a
-            # fresh proposal (fresh simulation, new chance to commit).
-            self._fire_one()
+            cap = self.config.max_resubmits
+            if cap is None or retries < cap:
+                # Immediate resubmission of the failed business intent as
+                # a fresh proposal (fresh simulation, new chance to
+                # commit).
+                self._fire_one(retries + 1)
+            else:
+                # The intent exhausted its resubmission budget; give up
+                # and count it rather than cycling forever.
+                self.metrics.record_fault("resubmit_capped")

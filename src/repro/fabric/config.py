@@ -22,9 +22,11 @@ block size 1024 under a conflict-free workload, matching Figures 7/8.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
 from repro.core.batch_cutter import BatchCutConfig
 from repro.errors import ConfigError
+from repro.faults import FaultSchedule
 
 
 @dataclass(frozen=True)
@@ -118,6 +120,21 @@ class FabricConfig:
     client_window: int = 512
     #: Whether clients resubmit aborted/invalid proposals immediately.
     resubmit_failed: bool = False
+    #: Cap on resubmissions per business intent when ``resubmit_failed``
+    #: is on; ``None`` retries forever (the historical livelock hazard).
+    #: Intents that exhaust the cap are counted in the run's fault
+    #: metrics instead of silently cycling through the pipeline.
+    max_resubmits: Optional[int] = 16
+
+    #: Endorsement policy as data (picklable, part of the cache key):
+    #: ``None``/"all" = AND over every org, "any" = one org suffices,
+    #: "outof:K" = any K of the orgs. ``FabricNetwork`` still accepts a
+    #: policy object directly, which takes precedence.
+    endorsement_policy: Optional[str] = None
+
+    #: Deterministic fault schedule; the default injects nothing and
+    #: leaves the healthy pipeline bit-identical to a fault-free build.
+    faults: FaultSchedule = field(default_factory=FaultSchedule)
 
     #: Cap on Johnson cycle enumeration per block. Dense conflict graphs
     #: contain exponentially many elementary cycles; past roughly a
@@ -155,6 +172,9 @@ class FabricConfig:
             raise ConfigError("client_rate must be > 0")
         if self.client_window < 1:
             raise ConfigError("client_window must be >= 1")
+        if self.max_resubmits is not None and self.max_resubmits < 0:
+            raise ConfigError("max_resubmits must be >= 0 (or None for no cap)")
+        self.faults.validate()
 
     def with_fabric_plus_plus(self) -> "FabricConfig":
         """Return a copy with every Fabric++ optimization enabled."""

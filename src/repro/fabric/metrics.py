@@ -31,6 +31,9 @@ class TxOutcome(enum.Enum):
     EARLY_ABORT_CYCLE = "early_abort_cycle"
     #: Fabric++: aborted by the orderer's within-block version check.
     EARLY_ABORT_VERSION = "early_abort_version"
+    #: Endorsement collection never satisfied the policy within the
+    #: configured deadline and bounded retries (fault-injection runs).
+    ENDORSEMENT_TIMEOUT = "endorsement_timeout"
 
     @property
     def is_success(self) -> bool:
@@ -105,6 +108,13 @@ class PipelineMetrics:
     #: so a backlog resolving during the post-run drain does not inflate
     #: the reported rate — matching the paper's steady-state averages.
     duration: float = 0.0
+    #: Sparse fault counters (crashes, recoveries, messages_dropped,
+    #: endorsement_timeouts, endorsement_retries, resubmit_capped,
+    #: orderer_stalls, blocks_caught_up). Empty on healthy runs.
+    fault_counters: Dict[str, int] = field(default_factory=dict)
+    #: Timestamped fault events: (simulated time, kind, subject), e.g.
+    #: ``(0.5, "crash", "peer1.OrgA")``. Empty on healthy runs.
+    fault_events: List[tuple] = field(default_factory=list)
 
     def record_fired(self) -> None:
         """Count one fired proposal."""
@@ -132,6 +142,14 @@ class PipelineMetrics:
             for time, outcome in self.outcome_times
             if time <= self.duration and outcome.is_success == want_success
         )
+
+    def record_fault(self, counter: str, amount: int = 1) -> None:
+        """Bump one of the sparse fault counters."""
+        self.fault_counters[counter] = self.fault_counters.get(counter, 0) + amount
+
+    def record_fault_event(self, now: float, kind: str, subject: str) -> None:
+        """Append one entry to the crash/recovery/stall event log."""
+        self.fault_events.append((now, kind, subject))
 
     def record_block(self, num_transactions: int) -> None:
         """Count a committed block."""
@@ -243,10 +261,37 @@ class PipelineMetrics:
             for index in range(bucket_count)
         ]
 
+    def commit_availability(self, bucket_seconds: float = 1.0) -> float:
+        """Fraction of measurement-window buckets with >= 1 commit.
+
+        The paper's figures average over a healthy run; under fault
+        injection this is the complementary number — how much of the run
+        the commit pipeline stayed live. 1.0 means successful TPS never
+        hit zero for a whole bucket.
+        """
+        series = self.throughput_timeseries(bucket_seconds)
+        if not series:
+            return 0.0
+        live = sum(1 for entry in series if entry["successful_tps"] > 0)
+        return live / len(series)
+
+    def fault_summary(self) -> Dict[str, object]:
+        """Fault counters plus derived availability, for reports.
+
+        Empty when the run injected nothing, so healthy summaries are
+        unchanged.
+        """
+        if not self.fault_counters and not self.fault_events:
+            return {}
+        summary: Dict[str, object] = dict(sorted(self.fault_counters.items()))
+        summary["fault_events"] = len(self.fault_events)
+        summary["commit_availability"] = round(self.commit_availability(), 3)
+        return summary
+
     def summary(self) -> Dict[str, object]:
         """A flat dict of the headline numbers (for reports and tests)."""
         latency = self.latency()
-        return {
+        summary = {
             "fired": self.fired,
             "successful": self.successful,
             "failed": self.failed,
@@ -264,3 +309,7 @@ class PipelineMetrics:
                 if count
             },
         }
+        faults = self.fault_summary()
+        if faults:
+            summary["faults"] = faults
+        return summary

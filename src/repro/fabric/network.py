@@ -20,7 +20,8 @@ from repro.fabric.config import FabricConfig
 from repro.fabric.metrics import PipelineMetrics, TxOutcome
 from repro.fabric.orderer import OrderingService
 from repro.fabric.peer import Peer
-from repro.fabric.policy import AllOrgs, EndorsementPolicy
+from repro.fabric.policy import AllOrgs, EndorsementPolicy, parse_policy_spec
+from repro.faults import FaultInjector
 from repro.ledger.block import Block
 from repro.sim.distributions import Rng
 from repro.sim.engine import Environment
@@ -57,6 +58,8 @@ class FabricNetwork:
         self.metrics = PipelineMetrics()
 
         self.orgs = [f"Org{chr(ord('A') + i)}" for i in range(config.num_orgs)]
+        if policy is None and config.endorsement_policy:
+            policy = parse_policy_spec(config.endorsement_policy, self.orgs)
         self.policy = policy or AllOrgs(*self.orgs)
         unknown = self.policy.mentioned_orgs() - set(self.orgs)
         if unknown:
@@ -74,6 +77,33 @@ class FabricNetwork:
         self.reference_peer = self.peers[0]
         self.reference_peer.attach_reference_hooks(self._notify, self.metrics)
 
+        # Fault injection: built only for non-trivial schedules, so a
+        # healthy run schedules no extra events and draws no extra
+        # randomness (bit-identical to a build without repro.faults).
+        self._peer_by_name = {peer.name: peer for peer in self.peers}
+        #: Per-org gossip dissemination order: position 0 is the org
+        #: leader (direct delivery from the orderer); later positions are
+        #: one gossip hop behind. A recovered peer re-joins at the tail.
+        self._gossip_order: Dict[str, List[Peer]] = {
+            org: list(peers) for org, peers in self.peers_by_org.items()
+        }
+        self.faults: Optional[FaultInjector] = None
+        if not config.faults.is_zero:
+            for window in config.faults.crashes:
+                if window.peer not in self._peer_by_name:
+                    raise ConfigError(
+                        f"crash schedule names unknown peer {window.peer!r} "
+                        f"(peers: {sorted(self._peer_by_name)})"
+                    )
+                if window.peer == self.reference_peer.name:
+                    raise ConfigError(
+                        "the reference peer is the measurement anchor and "
+                        "cannot be scheduled to crash"
+                    )
+            self.faults = FaultInjector(
+                self.env, config.faults, config.seed, self.metrics
+            )
+
         # One ordering-service machine and one client machine, shared by
         # every channel (Section 6.1's single orderer / single client host).
         self.orderer_cpu = Resource(self.env, config.cores_per_peer)
@@ -82,7 +112,7 @@ class FabricNetwork:
         self.orderers: Dict[str, OrderingService] = {}
         self.clients: List[Client] = []
         self.workloads: Dict[str, Workload] = {}
-        self._pending: Dict[str, Tuple[Client, float]] = {}
+        self._pending: Dict[str, Tuple[Client, float, int]] = {}
 
         self.channels = [f"ch{i}" for i in range(config.num_channels)]
         for channel_index, channel in enumerate(self.channels):
@@ -119,6 +149,11 @@ class FabricNetwork:
             rng = Rng(
                 hash((self.config.seed, channel_index, client_index)) & 0x7FFFFFFF
             )
+            fault_rng = (
+                self.faults.backoff_rng(channel_index, client_index)
+                if self.faults is not None
+                else None
+            )
             client = Client(
                 self.env,
                 identity,
@@ -132,6 +167,8 @@ class FabricNetwork:
                 machine_cpu=self.client_cpu,
                 metrics=self.metrics,
                 register_pending=self._register_pending,
+                faults=self.faults,
+                fault_rng=fault_rng,
             )
             self.clients.append(client)
 
@@ -156,23 +193,104 @@ class FabricNetwork:
             yield self.env.timeout(delay)
             peer.deliver_block(channel, block)
 
-        for org_peers in self.peers_by_org.values():
+        if self.faults is None:
+            for org_peers in self.peers_by_org.values():
+                for position, peer in enumerate(org_peers):
+                    delay = base_delay if position == 0 else base_delay + gossip_hop
+                    self.env.process(
+                        deliver(peer, delay), name=f"deliver/{channel}/{peer.name}"
+                    )
+            return
+
+        redelivery = self.config.faults.block_redelivery_interval
+
+        def deliver_faulty(peer: Peer, base: float):
+            # Gossip redelivers dropped blocks until the peer has them
+            # (Fabric's anti-entropy pull); a crashed peer ignores the
+            # delivery and catches up from a neighbour on recovery.
+            while True:
+                delay = self.faults.message_delay(base)
+                if delay is not None:
+                    yield self.env.timeout(delay)
+                    peer.deliver_block(channel, block)
+                    return
+                yield self.env.timeout(redelivery)
+
+        for org_peers in self._gossip_order.values():
             for position, peer in enumerate(org_peers):
-                delay = base_delay if position == 0 else base_delay + gossip_hop
+                base = base_delay if position == 0 else base_delay + gossip_hop
                 self.env.process(
-                    deliver(peer, delay), name=f"deliver/{channel}/{peer.name}"
+                    deliver_faulty(peer, base),
+                    name=f"deliver/{channel}/{peer.name}",
                 )
 
-    def _register_pending(self, tx_id: str, client: Client, submitted_at: float) -> None:
-        self._pending[tx_id] = (client, submitted_at)
+    # -- fault hooks -----------------------------------------------------------------
+
+    def crash_peer(self, name: str) -> None:
+        """Take a peer down: it stops endorsing/validating and loses
+        in-flight work (called by the fault injector)."""
+        peer = self._peer_by_name[name]
+        peer.crash()
+        for org_peers in self._gossip_order.values():
+            if peer in org_peers:
+                org_peers.remove(peer)
+        if self.faults is not None:
+            self.faults.record("crashes")
+            self.faults.log_event("crash", name)
+
+    def recover_peer(self, name: str) -> None:
+        """Bring a crashed peer back: it rebuilds state by replaying the
+        blocks it missed from the reference peer, then re-joins gossip at
+        the tail of its org (one hop behind the leader)."""
+        peer = self._peer_by_name[name]
+        peer.recover()
+        for org, org_peers in self.peers_by_org.items():
+            if peer in org_peers and peer not in self._gossip_order[org]:
+                self._gossip_order[org].append(peer)
+        if self.faults is not None:
+            self.faults.record("recoveries")
+            self.faults.log_event("recover", name)
+        for channel in self.channels:
+            horizon = self.orderers[channel]._next_block_id - 1
+            self.env.process(
+                self._catchup_poller(peer, channel, horizon),
+                name=f"catchup/{channel}/{name}",
+            )
+
+    def _catchup_poller(self, peer: Peer, channel: str, horizon: int):
+        """Replay missed blocks from the reference peer until ``peer`` has
+        every block cut before its recovery.
+
+        Blocks the reference peer itself has not validated yet arrive by
+        normal (re)delivery; the poller keeps pulling until the recovered
+        peer's chain reaches ``horizon``, then exits so the event queue
+        can drain.
+        """
+        poll = self.config.faults.catchup_poll_interval
+        while True:
+            if peer.crashed:
+                return  # crashed again before catching up
+            replayed = peer.catch_up(channel, self.reference_peer)
+            if replayed and self.faults is not None:
+                self.faults.record("blocks_caught_up", replayed)
+            if peer.channels[channel].ledger.tip_block_id >= horizon:
+                if self.faults is not None:
+                    self.faults.log_event("catchup_complete", f"{peer.name}/{channel}")
+                return
+            yield self.env.timeout(poll)
+
+    def _register_pending(
+        self, tx_id: str, client: Client, submitted_at: float, retries: int = 0
+    ) -> None:
+        self._pending[tx_id] = (client, submitted_at, retries)
 
     def _notify(self, tx_id: str, outcome: TxOutcome) -> None:
         """Resolve a transaction outcome back to its client."""
         entry = self._pending.pop(tx_id, None)
         if entry is None:
             return  # already resolved (e.g. orderer aborted it earlier)
-        client, submitted_at = entry
-        client.resolve(None, outcome, submitted_at=submitted_at)
+        client, submitted_at, retries = entry
+        client.resolve(None, outcome, submitted_at=submitted_at, retries=retries)
 
     # -- running ---------------------------------------------------------------------
 
@@ -196,6 +314,8 @@ class FabricNetwork:
         """
         if duration <= 0:
             raise ConfigError("duration must be > 0")
+        if self.faults is not None:
+            self.faults.start(self)
         for client in self.clients:
             client.start()
 

@@ -56,6 +56,8 @@ class OrderingService:
         self._next_block_id = 1
         self._tip_hash = GENESIS_HASH
         self._generation = 0
+        #: Fault injection: windows during which consensus stalls.
+        self._stall_windows: tuple = ()
         #: Counters exposed for tests and reports.
         self.blocks_cut = 0
         self.txs_received = 0
@@ -68,10 +70,25 @@ class OrderingService:
         """Accept a transaction from a client."""
         self.incoming.put(transaction)
 
+    def install_stalls(self, windows: tuple) -> None:
+        """Fault injection: stall processing during the given windows."""
+        self._stall_windows = tuple(windows)
+
+    def _maybe_stall(self) -> Generator:
+        """Block until the current stall window (if any) has passed.
+
+        With no windows installed this yields nothing at all, so healthy
+        runs schedule no extra events.
+        """
+        for window in self._stall_windows:
+            if window.at <= self.env.now < window.until:
+                yield self.env.timeout(window.until - self.env.now)
+
     def _receiver(self) -> Generator:
         while True:
             transaction = yield self.incoming.get()
             self.txs_received += 1
+            yield from self._maybe_stall()
             yield from self.cpu.use(self.config.costs.order_tx)
             was_empty = self._cutter.is_empty
             reason = self._cutter.add(transaction, self.env.now)
@@ -100,6 +117,7 @@ class OrderingService:
         if not batch:  # pragma: no cover - cut() callers guard non-empty
             return
         costs = self.config.costs
+        yield from self._maybe_stall()
         yield from self.cpu.use(costs.order_block)
 
         early_aborted: List[Transaction] = []

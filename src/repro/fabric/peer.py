@@ -48,6 +48,8 @@ class EndorseReply:
     early_aborted: bool = False
     #: The key that triggered the stale-read abort, if any.
     stale_key: Optional[str] = None
+    #: Set when the endorser was crashed — a connection-refused answer.
+    down: bool = False
 
 
 class PeerChannelState:
@@ -59,6 +61,13 @@ class PeerChannelState:
         self.lock = RWLock(env)
         self.incoming_blocks = Store(env)
         self.chaincodes = chaincodes
+        #: Reorder buffer for out-of-order gossip arrivals. Lives here
+        #: (not in the validator generator) so crash handling can drop it
+        #: and recovery catch-up can advance past it.
+        self.pending_blocks: Dict[int, Block] = {}
+        #: True while the validator is mid-block; catch-up replay must
+        #: not splice blocks underneath it.
+        self.validating = False
 
 
 class Peer:
@@ -87,6 +96,10 @@ class Peer:
         self.byzantine_rwset_hook: Optional[
             Callable[[ReadWriteSet], ReadWriteSet]
         ] = None
+        #: True while this peer is crashed: it refuses endorsements,
+        #: abandons in-flight work at the next scheduling point, and
+        #: discards delivered blocks (recovery replays them).
+        self.crashed = False
         #: Set on exactly one peer per network: the peer whose commits
         #: drive metrics and client notifications.
         self.is_reference = False
@@ -145,6 +158,10 @@ class Peer:
     def _endorse_process(self, channel: str, proposal: Proposal) -> Generator:
         pcs = self.channels[channel]
         costs = self.config.costs
+        if self.crashed:
+            # Connection refused: the client learns quickly that this
+            # endorser is gone (its own network hops model the latency).
+            return EndorseReply(None, down=True)
 
         chaincode = pcs.chaincodes.lookup(proposal.chaincode)
         op_count = chaincode.operation_count(proposal.function, proposal.args)
@@ -164,11 +181,17 @@ class Peer:
             # proposal flood cannot starve block validation.
             yield self.cpu.request(priority=ENDORSE_PRIORITY)
             try:
+                if self.crashed:
+                    # The peer died while this request queued for its
+                    # CPU: in-flight endorsement work is dropped.
+                    return EndorseReply(None, down=True)
                 # The chaincode's reads observe the state at the start of
                 # its execution; the rwset is fixed from this instant on.
                 stub = ChaincodeStub(pcs.state, start_block_id=None)
                 chaincode.invoke(stub, proposal.function, proposal.args)
                 yield self.env.timeout(execution_time)
+                if self.crashed:
+                    return EndorseReply(None, down=True)
                 if vanilla:
                     # Under the read lock no block could commit meanwhile,
                     # so the rwset is consistent at release time.
@@ -208,17 +231,26 @@ class Peer:
         costs = self.config.costs
         vanilla = not self.config.early_abort_simulation
         # Delivery may arrive out of order (gossip races); validation must
-        # follow block-id order, so early arrivals wait in a reorder buffer.
-        pending_blocks: Dict[int, Block] = {}
-        next_block_id = 1
+        # follow block-id order, so early arrivals wait in a reorder
+        # buffer. The next expected id is derived from the ledger tip so
+        # that recovery catch-up (which appends replayed blocks directly)
+        # transparently advances this loop past the blocks it missed.
         while True:
-            while next_block_id not in pending_blocks:
+            while True:
+                expected = pcs.ledger.tip_block_id + 1
+                for stale_id in [
+                    block_id
+                    for block_id in pcs.pending_blocks
+                    if block_id < expected
+                ]:
+                    del pcs.pending_blocks[stale_id]  # applied via catch-up
+                if expected in pcs.pending_blocks:
+                    break
                 block = yield pcs.incoming_blocks.get()
-                if block.block_id < next_block_id:
-                    continue  # duplicate delivery of an applied block
-                pending_blocks[block.block_id] = block
-            block = pending_blocks.pop(next_block_id)
-            next_block_id += 1
+                if block.block_id >= pcs.ledger.tip_block_id + 1:
+                    pcs.pending_blocks[block.block_id] = block
+            block = pcs.pending_blocks.pop(expected)
+            pcs.validating = True
             if vanilla:
                 # Vanilla serialises validation against simulation: the
                 # whole block validation runs under the exclusive write
@@ -271,6 +303,7 @@ class Peer:
                     pcs.state.advance_block(block.block_id)
                 pcs.ledger.append(block)
             finally:
+                pcs.validating = False
                 if vanilla:
                     pcs.lock.release_write()
 
@@ -376,8 +409,49 @@ class Peer:
         if self._notify is not None:
             self._notify(tx.tx_id, outcome)
 
+    # -- crash / recovery ---------------------------------------------------------
+
+    def crash(self) -> None:
+        """Go down: refuse new work and drop everything in flight.
+
+        Queued-but-unvalidated blocks and buffered out-of-order arrivals
+        are lost (they lived in volatile memory); a block *currently*
+        validating completes — LevelDB's batched commit makes block
+        application all-or-nothing, so crashes take effect at block
+        boundaries for the state.
+        """
+        self.crashed = True
+        for pcs in self.channels.values():
+            pcs.incoming_blocks.drain()
+            pcs.pending_blocks.clear()
+
+    def recover(self) -> None:
+        """Come back up; catch-up replay is driven by the network."""
+        self.crashed = False
+
+    def catch_up(self, channel: str, source: "Peer") -> int:
+        """Replay blocks missed while down from ``source``'s ledger.
+
+        Uses the ledger-export replay semantics (state transfer, the way
+        a real peer fetches missing blocks from a gossip neighbour):
+        append each missing block — hash chain verified by the ledger —
+        and apply the write sets of its transactions already flagged
+        valid. Returns the number of blocks replayed; 0 while the local
+        validator is mid-block (the caller polls again later).
+        """
+        from repro.ledger.export import catch_up_from
+
+        pcs = self.channels[channel]
+        if pcs.validating:
+            return 0
+        return catch_up_from(
+            source.channels[channel].ledger, pcs.ledger, pcs.state
+        )
+
     # -- delivery ----------------------------------------------------------------
 
     def deliver_block(self, channel: str, block: Block) -> None:
         """Enqueue a block received from the ordering service."""
+        if self.crashed:
+            return  # a down peer never receives the block; catch-up replays it
         self.channels[channel].incoming_blocks.put(block)

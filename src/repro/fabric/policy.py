@@ -140,6 +140,38 @@ class OutOf(EndorsementPolicy):
         return f"OutOf({self.count}, [" + ", ".join(map(repr, self.subpolicies)) + "])"
 
 
+def parse_policy_spec(spec: str, orgs: Sequence[str]) -> EndorsementPolicy:
+    """Build a policy over ``orgs`` from a compact data-only spec string.
+
+    The spec travels inside :class:`~repro.fabric.config.FabricConfig`
+    (picklable, cache-fingerprinted), so sweeps can vary the policy like
+    any other knob:
+
+    - ``"all"`` — ``AND`` over every org (the paper's default),
+    - ``"any"`` — one org suffices,
+    - ``"outof:K"`` — any ``K`` of the orgs (graceful degradation under
+      endorser loss: clients commit from the surviving endorsers).
+    """
+    text = spec.strip().lower()
+    if text == "all":
+        return AllOrgs(*orgs)
+    if text == "any":
+        return AnyOrg(*orgs)
+    if text.startswith("outof:"):
+        try:
+            count = int(text.split(":", 1)[1])
+        except ValueError as error:
+            raise PolicyError(f"bad OutOf count in policy spec {spec!r}") from error
+        if not 1 <= count <= len(orgs):
+            raise PolicyError(
+                f"policy spec {spec!r}: count must be in [1, {len(orgs)}]"
+            )
+        return OutOf(count, list(orgs))
+    raise PolicyError(
+        f"unknown policy spec {spec!r} (expected 'all', 'any', or 'outof:K')"
+    )
+
+
 def _coerce(subpolicies: Sequence) -> List[EndorsementPolicy]:
     """Allow bare org-name strings as shorthand for RequireOrg."""
     coerced: List[EndorsementPolicy] = []

@@ -1,0 +1,331 @@
+"""Deterministic, seeded fault injection for the simulated Fabric network.
+
+The paper evaluates a healthy 6-node cluster, but the system it models is
+a crash-tolerant distributed OS: gossip dissemination, leader peers and
+``OutOf`` endorsement policies exist precisely to survive node failures
+(Androulaki et al.). This module lets the reproduction study that failure
+behaviour without giving up determinism:
+
+- :class:`FaultSchedule` is plain, picklable configuration data carried
+  inside :class:`~repro.fabric.config.FabricConfig`. It describes peer
+  crash/recovery windows, per-link message loss and latency jitter, and
+  orderer stall windows. Because it is data, it composes with the sweep
+  engine and is part of the result-cache fingerprint.
+- :class:`FaultInjector` is the runtime built by
+  :class:`~repro.fabric.network.FabricNetwork` when the schedule is not
+  all-zero. All randomness (drop draws, jitter draws, retry-backoff
+  jitter) comes from dedicated seeded streams derived from the network
+  seed, so a fault run is exactly reproducible — the same config and seed
+  produce the same metrics, the same crash/recovery event log and the
+  same ledger, in-process or across sweep workers.
+
+With an all-zero schedule no injector is built and no extra simulation
+event is ever scheduled, so the healthy path stays bit-identical to a
+build without this module (enforced by a regression test).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.sim.distributions import Rng
+
+#: Seed salt (an int, so derivation never depends on string hashing)
+#: separating the fault streams from the workload streams.
+FAULT_SEED_SALT = 0xFA17
+
+
+@dataclass(frozen=True)
+class CrashWindow:
+    """One peer outage: ``peer`` is down during ``[at, at + duration)``.
+
+    While down the peer refuses endorsements, drops in-flight work and
+    discards delivered blocks; on recovery it catches up by replaying the
+    blocks it missed and re-joins gossip one hop behind its org leader.
+    """
+
+    peer: str
+    at: float
+    duration: float
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on a malformed window."""
+        if not self.peer:
+            raise ConfigError("crash window needs a peer name")
+        if self.at < 0:
+            raise ConfigError(f"crash time must be >= 0, got {self.at}")
+        if self.duration <= 0:
+            raise ConfigError(
+                f"crash duration must be > 0, got {self.duration}"
+            )
+
+    @property
+    def until(self) -> float:
+        """The recovery instant."""
+        return self.at + self.duration
+
+
+@dataclass(frozen=True)
+class StallWindow:
+    """An ordering-service stall: consensus makes no progress in
+    ``[at, at + duration)`` (leader re-election, fsync storm, ...)."""
+
+    at: float
+    duration: float
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on a malformed window."""
+        if self.at < 0:
+            raise ConfigError(f"stall time must be >= 0, got {self.at}")
+        if self.duration <= 0:
+            raise ConfigError(
+                f"stall duration must be > 0, got {self.duration}"
+            )
+
+    @property
+    def until(self) -> float:
+        """The instant the orderer resumes."""
+        return self.at + self.duration
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """Everything that may go wrong in one run, as picklable data.
+
+    The default instance is all-zero: no crashes, no loss, no jitter, no
+    stalls, no endorsement timeout — and the network then builds no fault
+    machinery at all. Every field participates in the experiment cache
+    fingerprint through :func:`~repro.bench.results.config_to_dict`.
+    """
+
+    #: Peer outages. The reference peer (``peer0`` of the first org) is
+    #: the measurement anchor and must not appear here.
+    crashes: Tuple[CrashWindow, ...] = ()
+    #: Probability that any faulty-link message is lost. Applies to the
+    #: client<->endorser exchange and to block dissemination; the
+    #: client->orderer path models a reliable TCP session.
+    drop_probability: float = 0.0
+    #: Mean of the exponential extra latency added per faulty-link
+    #: message (0 = no jitter).
+    jitter_mean: float = 0.0
+    #: Ordering-service stall windows (apply to every channel).
+    stalls: Tuple[StallWindow, ...] = ()
+    #: Client-side endorsement collection deadline (simulated seconds).
+    #: 0 disables the robust collection path entirely; required > 0 when
+    #: crashes or message loss are scheduled, because a client waiting
+    #: forever on a dead endorser would otherwise hang.
+    endorsement_timeout: float = 0.0
+    #: Bounded retries after an unsatisfiable endorsement round.
+    max_endorsement_retries: int = 3
+    #: Exponential backoff between endorsement retries:
+    #: ``base * factor**attempt * (1 + jitter * U[0,1))``.
+    retry_backoff_base: float = 0.05
+    retry_backoff_factor: float = 2.0
+    retry_backoff_jitter: float = 0.5
+    #: Gossip anti-entropy: a dropped block delivery is re-attempted
+    #: after this many simulated seconds.
+    block_redelivery_interval: float = 0.25
+    #: A recovering peer polls its catch-up source at this interval until
+    #: it has replayed every block it missed while down.
+    catchup_poll_interval: float = 0.1
+
+    @property
+    def is_zero(self) -> bool:
+        """True when this schedule injects nothing at all."""
+        return (
+            not self.crashes
+            and self.drop_probability == 0.0
+            and self.jitter_mean == 0.0
+            and not self.stalls
+            and self.endorsement_timeout == 0.0
+        )
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` if the schedule is inconsistent."""
+        if not 0.0 <= self.drop_probability < 1.0:
+            raise ConfigError(
+                f"drop_probability must be in [0, 1), got {self.drop_probability}"
+            )
+        if self.jitter_mean < 0:
+            raise ConfigError(
+                f"jitter_mean must be >= 0, got {self.jitter_mean}"
+            )
+        if self.endorsement_timeout < 0:
+            raise ConfigError(
+                f"endorsement_timeout must be >= 0, got {self.endorsement_timeout}"
+            )
+        if self.max_endorsement_retries < 0:
+            raise ConfigError("max_endorsement_retries must be >= 0")
+        if self.retry_backoff_base <= 0 or self.retry_backoff_factor < 1:
+            raise ConfigError("retry backoff must have base > 0 and factor >= 1")
+        if self.retry_backoff_jitter < 0:
+            raise ConfigError("retry_backoff_jitter must be >= 0")
+        if self.block_redelivery_interval <= 0:
+            raise ConfigError("block_redelivery_interval must be > 0")
+        if self.catchup_poll_interval <= 0:
+            raise ConfigError("catchup_poll_interval must be > 0")
+        for window in self.crashes:
+            window.validate()
+        for window in self.stalls:
+            window.validate()
+        # A client facing a dead or lossy endorser needs a deadline to
+        # make progress; refuse schedules that would hang it instead.
+        if (self.crashes or self.drop_probability > 0) and (
+            self.endorsement_timeout <= 0
+        ):
+            raise ConfigError(
+                "schedules with crashes or message loss need "
+                "endorsement_timeout > 0 (clients must not wait forever)"
+            )
+        by_peer: Dict[str, List[CrashWindow]] = {}
+        for window in self.crashes:
+            by_peer.setdefault(window.peer, []).append(window)
+        for peer, windows in by_peer.items():
+            windows.sort(key=lambda w: w.at)
+            for earlier, later in zip(windows, windows[1:]):
+                if later.at < earlier.until:
+                    raise ConfigError(
+                        f"overlapping crash windows for {peer}: "
+                        f"[{earlier.at}, {earlier.until}) and "
+                        f"[{later.at}, {later.until})"
+                    )
+
+
+def schedule_from_dict(data: Dict[str, object]) -> FaultSchedule:
+    """Rebuild a :class:`FaultSchedule` from its ``asdict`` form.
+
+    Accepts both tuples (fresh ``asdict``) and lists (after a JSON round
+    trip) for the window collections.
+    """
+    data = dict(data)
+    crashes = tuple(
+        window if isinstance(window, CrashWindow) else CrashWindow(**window)
+        for window in data.pop("crashes", ())
+    )
+    stalls = tuple(
+        window if isinstance(window, StallWindow) else StallWindow(**window)
+        for window in data.pop("stalls", ())
+    )
+    return FaultSchedule(crashes=crashes, stalls=stalls, **data)
+
+
+def crash_schedule(
+    peers: Sequence[str],
+    crashes_per_peer: float,
+    run_duration: float,
+    mean_outage: float,
+    seed: int,
+) -> Tuple[CrashWindow, ...]:
+    """Generate a random-but-deterministic crash schedule, as data.
+
+    Each named peer suffers ``round(crashes_per_peer)`` outages (the
+    fractional part adds one more outage with that probability), placed
+    uniformly over ``[0, run_duration)`` with exponentially distributed
+    lengths of mean ``mean_outage``. Windows for one peer never overlap:
+    they are spaced over disjoint segments of the run. The same inputs
+    always produce the same windows, so benchmarks can describe a whole
+    crash-density axis by a single float.
+    """
+    rng = Rng((seed * 0x9E3779B1 + FAULT_SEED_SALT) & 0x7FFFFFFF)
+    windows: List[CrashWindow] = []
+    for peer in peers:
+        count = int(crashes_per_peer)
+        if rng.random() < crashes_per_peer - count:
+            count += 1
+        if count <= 0:
+            continue
+        # One outage per equal segment keeps windows disjoint by design.
+        segment = run_duration / count
+        for index in range(count):
+            length = min(rng.exponential(mean_outage), 0.8 * segment)
+            start = segment * index + rng.uniform(0.0, segment - length)
+            windows.append(CrashWindow(peer=peer, at=start, duration=length))
+    return tuple(windows)
+
+
+class FaultInjector:
+    """Runtime fault machinery for one network (built only when needed).
+
+    Owns the seeded fault randomness and the event log. The message
+    stream (drop and jitter draws) is separate from each client's
+    retry-backoff stream, and both are separate from the workload
+    streams, so enabling faults never perturbs which transactions a
+    workload generates.
+    """
+
+    def __init__(self, env, schedule: FaultSchedule, seed: int, metrics) -> None:
+        self.env = env
+        self.schedule = schedule
+        self.metrics = metrics
+        self.seed = seed
+        self._message_rng = Rng((seed * 0x9E3779B1 + FAULT_SEED_SALT) & 0x7FFFFFFF)
+
+    # -- randomness ---------------------------------------------------------
+
+    def backoff_rng(self, channel_index: int, client_index: int) -> Rng:
+        """A dedicated backoff-jitter stream for one client."""
+        return Rng(
+            hash((self.seed, FAULT_SEED_SALT, channel_index, client_index))
+            & 0x7FFFFFFF
+        )
+
+    def message_delay(self, base: float) -> Optional[float]:
+        """The effective latency of one faulty-link message.
+
+        Returns None when the message is lost (counted as a drop), else
+        ``base`` plus an exponential jitter draw.
+        """
+        schedule = self.schedule
+        if schedule.drop_probability > 0 and (
+            self._message_rng.random() < schedule.drop_probability
+        ):
+            self.record("messages_dropped")
+            return None
+        if schedule.jitter_mean > 0:
+            return base + self._message_rng.exponential(schedule.jitter_mean)
+        return base
+
+    # -- event log ----------------------------------------------------------
+
+    def record(self, counter: str, amount: int = 1) -> None:
+        """Bump a fault counter on the run's metrics."""
+        self.metrics.record_fault(counter, amount)
+
+    def log_event(self, kind: str, subject: str) -> None:
+        """Append a timestamped entry to the fault event log."""
+        self.metrics.record_fault_event(self.env.now, kind, subject)
+
+    # -- schedule execution --------------------------------------------------
+
+    def start(self, network) -> None:
+        """Launch the crash and stall processes against ``network``."""
+        for window in self.schedule.crashes:
+            self.env.process(
+                self._crash_process(network, window),
+                name=f"fault/crash/{window.peer}",
+            )
+        if self.schedule.stalls:
+            windows = tuple(
+                sorted(self.schedule.stalls, key=lambda w: (w.at, w.duration))
+            )
+            for orderer in network.orderers.values():
+                orderer.install_stalls(windows)
+            for window in windows:
+                self.env.process(
+                    self._stall_logger(window), name="fault/stall"
+                )
+
+    def _crash_process(self, network, window: CrashWindow):
+        yield self.env.timeout(window.at)
+        network.crash_peer(window.peer)
+        yield self.env.timeout(window.duration)
+        network.recover_peer(window.peer)
+
+    def _stall_logger(self, window: StallWindow):
+        yield self.env.timeout(window.at)
+        self.record("orderer_stalls")
+        self.log_event("stall_begin", "orderer")
+        yield self.env.timeout(window.duration)
+        self.log_event("stall_end", "orderer")

@@ -21,7 +21,7 @@ import json
 from pathlib import Path
 from typing import Dict, List, Union
 
-from repro.errors import LedgerError
+from repro.errors import LedgerError, LedgerVerificationError
 from repro.ledger.block import Block, BlockHeader
 from repro.ledger.ledger import Ledger
 from repro.ledger.state_db import StateDatabase
@@ -89,26 +89,47 @@ def import_ledger(payload: Dict[str, object]) -> Ledger:
     exported transaction digest or block linkage raises
     :class:`LedgerError`.
     """
+    if not isinstance(payload, dict):
+        raise LedgerVerificationError(
+            f"ledger export must be a JSON object, got {type(payload).__name__}"
+        )
     if payload.get("schema_version") != SCHEMA_VERSION:
-        raise LedgerError(
+        raise LedgerVerificationError(
             f"unsupported ledger export schema {payload.get('schema_version')!r}"
         )
+    entries = payload.get("blocks")
+    if not isinstance(entries, list):
+        raise LedgerVerificationError("ledger export has no 'blocks' list")
     ledger = Ledger()
-    for entry in payload["blocks"]:
-        transactions = [
-            ExportedTransaction(tx["tx_id"], tx["digest"], dict(tx["writes"]))
-            for tx in entry["transactions"]
-        ]
-        header = BlockHeader(
-            block_id=entry["block_id"],
-            previous_hash=bytes.fromhex(entry["previous_hash"]),
-            data_hash=bytes.fromhex(entry["data_hash"]),
-        )
-        block = Block(header, transactions)
-        for tx in entry["transactions"]:
-            if tx["valid"] is not None:
-                block.mark(tx["tx_id"], tx["valid"])
-        ledger.append(block)
+    for index, entry in enumerate(entries):
+        try:
+            transactions = [
+                ExportedTransaction(tx["tx_id"], tx["digest"], dict(tx["writes"]))
+                for tx in entry["transactions"]
+            ]
+            header = BlockHeader(
+                block_id=entry["block_id"],
+                previous_hash=bytes.fromhex(entry["previous_hash"]),
+                data_hash=bytes.fromhex(entry["data_hash"]),
+            )
+            block = Block(header, transactions)
+            for tx in entry["transactions"]:
+                if tx["valid"] is not None:
+                    block.mark(tx["tx_id"], tx["valid"])
+        except (KeyError, TypeError, ValueError, AttributeError) as error:
+            # Truncated or hand-edited exports surface as missing keys or
+            # malformed hex; report the block, not the raw stack trace.
+            raise LedgerVerificationError(
+                f"corrupt ledger export at block index {index}: {error!r}",
+                block_index=index,
+            ) from error
+        try:
+            ledger.append(block)
+        except LedgerError as error:
+            raise LedgerVerificationError(
+                f"ledger verification failed at block index {index}: {error}",
+                block_index=index,
+            ) from error
     return ledger
 
 
@@ -122,7 +143,9 @@ def load_ledger(path: Union[str, Path]) -> Ledger:
     try:
         payload = json.loads(Path(path).read_text())
     except (OSError, json.JSONDecodeError) as error:
-        raise LedgerError(f"cannot load ledger from {path}: {error}") from error
+        raise LedgerVerificationError(
+            f"cannot load ledger from {path}: {error}"
+        ) from error
     return import_ledger(payload)
 
 
@@ -139,13 +162,47 @@ def replay_state(
     state = StateDatabase()
     state.populate(initial_state)
     for block in ledger:
-        writes = []
-        for index, tx in enumerate(block.transactions):
-            if block.is_valid(getattr(tx, "tx_id", "")) and hasattr(tx, "writes"):
-                writes.append((index, tx.writes))
-            elif block.is_valid(getattr(tx, "tx_id", "")):
-                rwset = getattr(tx, "rwset", None)
-                if rwset is not None:
-                    writes.append((index, dict(rwset.writes)))
-        state.apply_block_writes(block.block_id, writes)
+        state.apply_block_writes(block.block_id, _valid_writes(block))
     return state
+
+
+def _valid_writes(block: Block) -> List[tuple]:
+    """``(tx_index, write_set)`` pairs of a block's valid transactions.
+
+    Works for live :class:`~repro.fabric.transaction.Transaction` objects
+    (write sets live on ``tx.rwset``) and :class:`ExportedTransaction`
+    (write sets inlined by the export).
+    """
+    writes: List[tuple] = []
+    for index, tx in enumerate(block.transactions):
+        if not block.is_valid(getattr(tx, "tx_id", "")):
+            continue
+        if hasattr(tx, "writes"):
+            writes.append((index, tx.writes))
+        else:
+            rwset = getattr(tx, "rwset", None)
+            if rwset is not None:
+                writes.append((index, dict(rwset.writes)))
+    return writes
+
+
+def catch_up_from(source: Ledger, ledger: Ledger, state: StateDatabase) -> int:
+    """Replay onto ``ledger``/``state`` every block they miss from ``source``.
+
+    This is the crash-recovery path: a recovered peer pulls the blocks it
+    lost from a healthy neighbour (state transfer), verifying the hash
+    chain on append and applying the write sets of the transactions the
+    network already validated — exactly the :func:`replay_state`
+    semantics, but incremental over a live store. The write versions are
+    ``Version(block_id, tx_index)``, identical to what live validation
+    stamps, so a caught-up peer's state is byte-identical to one that
+    never crashed. Returns the number of blocks replayed.
+    """
+    replayed = 0
+    for block in source:
+        if block.block_id <= ledger.tip_block_id:
+            continue
+        ledger.append(block)
+        state.apply_block_writes(block.block_id, _valid_writes(block))
+        replayed += 1
+    return replayed

@@ -79,3 +79,43 @@ def test_repr_round_trip_readability():
     policy = OutOf(1, [AllOrgs("A", "B")])
     assert "OutOf(1" in repr(policy)
     assert "AND" in repr(policy)
+
+
+# -- data-only policy specs (picklable, sweepable) ------------------------------
+
+
+def test_parse_policy_spec_all():
+    from repro.fabric.policy import parse_policy_spec
+
+    policy = parse_policy_spec("all", ["OrgA", "OrgB"])
+    assert policy.satisfied_by(frozenset(["OrgA", "OrgB"]))
+    assert not policy.satisfied_by(frozenset(["OrgA"]))
+
+
+def test_parse_policy_spec_any():
+    from repro.fabric.policy import parse_policy_spec
+
+    policy = parse_policy_spec("any", ["OrgA", "OrgB"])
+    assert policy.satisfied_by(frozenset(["OrgB"]))
+
+
+def test_parse_policy_spec_outof():
+    from repro.fabric.policy import parse_policy_spec
+
+    policy = parse_policy_spec("outof:2", ["OrgA", "OrgB", "OrgC"])
+    assert policy.satisfied_by(frozenset(["OrgA", "OrgC"]))
+    assert not policy.satisfied_by(frozenset(["OrgC"]))
+    assert policy.mentioned_orgs() == {"OrgA", "OrgB", "OrgC"}
+
+
+def test_parse_policy_spec_rejects_bad_input():
+    from repro.fabric.policy import parse_policy_spec
+
+    with pytest.raises(PolicyError):
+        parse_policy_spec("bogus", ["OrgA"])
+    with pytest.raises(PolicyError):
+        parse_policy_spec("outof:nan", ["OrgA"])
+    with pytest.raises(PolicyError):
+        parse_policy_spec("outof:5", ["OrgA", "OrgB"])
+    with pytest.raises(PolicyError):
+        parse_policy_spec("outof:0", ["OrgA", "OrgB"])

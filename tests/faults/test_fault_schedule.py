@@ -1,0 +1,148 @@
+"""Unit tests for the fault schedule data model and its generators."""
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import (
+    CrashWindow,
+    FaultSchedule,
+    StallWindow,
+    crash_schedule,
+    schedule_from_dict,
+)
+
+
+def test_default_schedule_is_zero():
+    schedule = FaultSchedule()
+    assert schedule.is_zero
+    schedule.validate()  # a zero schedule is always valid
+
+
+def test_any_fault_knob_makes_schedule_nonzero():
+    assert not FaultSchedule(
+        crashes=(CrashWindow("peer1.OrgA", 1.0, 0.5),),
+        endorsement_timeout=0.05,
+    ).is_zero
+    assert not FaultSchedule(
+        drop_probability=0.1, endorsement_timeout=0.05
+    ).is_zero
+    assert not FaultSchedule(jitter_mean=0.01).is_zero
+    assert not FaultSchedule(stalls=(StallWindow(1.0, 0.5),)).is_zero
+    assert not FaultSchedule(endorsement_timeout=0.05).is_zero
+
+
+def test_crashes_require_endorsement_timeout():
+    schedule = FaultSchedule(crashes=(CrashWindow("peer1.OrgA", 1.0, 0.5),))
+    with pytest.raises(ConfigError):
+        schedule.validate()
+
+
+def test_message_loss_requires_endorsement_timeout():
+    with pytest.raises(ConfigError):
+        FaultSchedule(drop_probability=0.2).validate()
+
+
+def test_overlapping_crash_windows_rejected():
+    schedule = FaultSchedule(
+        crashes=(
+            CrashWindow("peer1.OrgA", 1.0, 1.0),
+            CrashWindow("peer1.OrgA", 1.5, 1.0),
+        ),
+        endorsement_timeout=0.05,
+    )
+    with pytest.raises(ConfigError):
+        schedule.validate()
+
+
+def test_same_windows_on_distinct_peers_allowed():
+    FaultSchedule(
+        crashes=(
+            CrashWindow("peer1.OrgA", 1.0, 1.0),
+            CrashWindow("peer0.OrgB", 1.0, 1.0),
+        ),
+        endorsement_timeout=0.05,
+    ).validate()
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"drop_probability": -0.1},
+        {"drop_probability": 1.0},
+        {"jitter_mean": -1.0},
+        {"endorsement_timeout": -1.0},
+        {"max_endorsement_retries": -1},
+        {"retry_backoff_base": 0.0},
+        {"retry_backoff_factor": 0.5},
+        {"retry_backoff_jitter": -0.5},
+        {"block_redelivery_interval": 0.0},
+        {"catchup_poll_interval": 0.0},
+    ],
+)
+def test_out_of_range_knobs_rejected(kwargs):
+    with pytest.raises(ConfigError):
+        FaultSchedule(**kwargs).validate()
+
+
+def test_malformed_windows_rejected():
+    with pytest.raises(ConfigError):
+        CrashWindow("", 1.0, 1.0).validate()
+    with pytest.raises(ConfigError):
+        CrashWindow("peer1.OrgA", -1.0, 1.0).validate()
+    with pytest.raises(ConfigError):
+        CrashWindow("peer1.OrgA", 1.0, 0.0).validate()
+    with pytest.raises(ConfigError):
+        StallWindow(-1.0, 1.0).validate()
+    with pytest.raises(ConfigError):
+        StallWindow(1.0, 0.0).validate()
+
+
+def test_schedule_round_trips_through_asdict():
+    schedule = FaultSchedule(
+        crashes=(CrashWindow("peer1.OrgA", 0.5, 0.7),),
+        stalls=(StallWindow(1.0, 0.2),),
+        drop_probability=0.05,
+        jitter_mean=0.002,
+        endorsement_timeout=0.05,
+        max_endorsement_retries=5,
+    )
+    assert schedule_from_dict(asdict(schedule)) == schedule
+
+
+def test_schedule_round_trips_through_json():
+    import json
+
+    schedule = FaultSchedule(
+        crashes=(CrashWindow("peer0.OrgB", 1.0, 0.3),),
+        endorsement_timeout=0.1,
+    )
+    data = json.loads(json.dumps(asdict(schedule)))
+    assert schedule_from_dict(data) == schedule
+
+
+def test_crash_schedule_is_deterministic():
+    args = (("peer1.OrgA", "peer0.OrgB"), 1.5, 10.0, 0.5, 7)
+    assert crash_schedule(*args) == crash_schedule(*args)
+    assert crash_schedule(*args) != crash_schedule(
+        ("peer1.OrgA", "peer0.OrgB"), 1.5, 10.0, 0.5, 8
+    )
+
+
+def test_crash_schedule_windows_are_valid_and_disjoint():
+    windows = crash_schedule(
+        ("peer1.OrgA", "peer0.OrgB", "peer1.OrgB"),
+        crashes_per_peer=3.0,
+        run_duration=10.0,
+        mean_outage=1.0,
+        seed=42,
+    )
+    FaultSchedule(crashes=windows, endorsement_timeout=0.05).validate()
+    for window in windows:
+        assert 0.0 <= window.at < 10.0
+        assert window.duration > 0
+
+
+def test_crash_schedule_zero_density_is_empty():
+    assert crash_schedule(("peer1.OrgA",), 0.0, 10.0, 0.5, 42) == ()

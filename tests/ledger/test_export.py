@@ -5,16 +5,19 @@ from dataclasses import replace
 import pytest
 
 from repro.core.batch_cutter import BatchCutConfig
-from repro.errors import LedgerError
+from repro.errors import LedgerError, LedgerVerificationError
 from repro.fabric.config import FabricConfig
 from repro.fabric.network import FabricNetwork
 from repro.ledger.export import (
+    catch_up_from,
     export_ledger,
     import_ledger,
     load_ledger,
     replay_state,
     save_ledger,
 )
+from repro.ledger.ledger import Ledger
+from repro.ledger.state_db import StateDatabase
 from repro.workloads.custom import CustomWorkload, CustomWorkloadParams
 
 
@@ -114,3 +117,94 @@ def test_replay_from_export_matches_versions(finished_network):
     replayed = replay_state(rebuilt_ledger, workload.initial_state())
     for key, entry in live_channel.state.items():
         assert replayed.get(key).version == entry.version
+
+
+# -- graceful failure on corrupt / truncated exports ----------------------------
+
+
+def test_import_rejects_non_dict_payload():
+    with pytest.raises(LedgerVerificationError):
+        import_ledger(["not", "a", "dict"])
+
+
+def test_import_rejects_missing_blocks_list():
+    with pytest.raises(LedgerVerificationError):
+        import_ledger({"schema_version": 1, "blocks": "truncated"})
+
+
+def test_import_reports_offending_block_index(finished_network):
+    """A truncated block entry names its index instead of a raw KeyError."""
+    network, _workload = finished_network
+    payload = export_ledger(network.reference_peer.channels["ch0"].ledger)
+    if len(payload["blocks"]) < 2:
+        pytest.skip("need at least two blocks")
+    del payload["blocks"][1]["transactions"][0]["digest"]
+    with pytest.raises(LedgerVerificationError) as excinfo:
+        import_ledger(payload)
+    assert excinfo.value.block_index == 1
+    assert "block index 1" in str(excinfo.value)
+
+
+def test_import_reports_malformed_hex_block_index(finished_network):
+    network, _workload = finished_network
+    payload = export_ledger(network.reference_peer.channels["ch0"].ledger)
+    payload["blocks"][0]["previous_hash"] = "not-hex"
+    with pytest.raises(LedgerVerificationError) as excinfo:
+        import_ledger(payload)
+    assert excinfo.value.block_index == 0
+
+
+def test_chain_break_reports_block_index(finished_network):
+    network, _workload = finished_network
+    payload = export_ledger(network.reference_peer.channels["ch0"].ledger)
+    if len(payload["blocks"]) < 2:
+        pytest.skip("need at least two blocks")
+    payload["blocks"][1]["previous_hash"] = "11" * 32
+    with pytest.raises(LedgerVerificationError) as excinfo:
+        import_ledger(payload)
+    assert excinfo.value.block_index == 1
+
+
+def test_load_rejects_invalid_json(tmp_path):
+    path = tmp_path / "truncated.json"
+    path.write_text('{"schema_version": 1, "blocks": [')
+    with pytest.raises(LedgerVerificationError):
+        load_ledger(path)
+
+
+def test_verification_error_is_a_ledger_error():
+    """Callers catching the historical LedgerError keep working."""
+    assert issubclass(LedgerVerificationError, LedgerError)
+
+
+# -- incremental catch-up (crash recovery path) ---------------------------------
+
+
+def test_catch_up_from_replays_missed_blocks(finished_network):
+    network, workload = finished_network
+    source = network.reference_peer.channels["ch0"]
+    assert source.ledger.height >= 2
+    behind_ledger = Ledger()
+    behind_state = StateDatabase()
+    behind_state.populate(workload.initial_state())
+    # Apply only the first block "live", then catch up the rest.
+    first = next(iter(source.ledger))
+    replayed = catch_up_from(source.ledger, behind_ledger, behind_state)
+    assert replayed == source.ledger.height
+    assert first.block_id == 1
+    assert behind_ledger.tip_hash == source.ledger.tip_hash
+    for key, entry in source.state.items():
+        assert behind_state.get(key).value == entry.value
+        assert behind_state.get(key).version == entry.version
+
+
+def test_catch_up_from_is_idempotent(finished_network):
+    network, workload = finished_network
+    source = network.reference_peer.channels["ch0"]
+    ledger = Ledger()
+    state = StateDatabase()
+    state.populate(workload.initial_state())
+    assert catch_up_from(source.ledger, ledger, state) == source.ledger.height
+    # A second pull finds nothing new.
+    assert catch_up_from(source.ledger, ledger, state) == 0
+    assert ledger.tip_hash == source.ledger.tip_hash

@@ -1,0 +1,119 @@
+"""Hypothesis stateful test: StateDatabase vs a versioned model dict.
+
+Extends the basic machine in ``test_state_properties.py`` with what the
+fault-injection layer leans on:
+
+- the *version* bookkeeping (``Version(block_id, tx_index)``) is part of
+  the model, not just the values — crash recovery replays writes and
+  must reproduce versions exactly;
+- both write paths are exercised and must agree: vanilla's atomic
+  ``apply_block_writes`` and Fabric++'s inline ``apply_write`` +
+  ``advance_block`` (paper Section 5.2.1);
+- a lagging replica database catches up by replaying the retained block
+  log — the in-memory analogue of a recovered peer — and must match the
+  live database byte for byte after every catch-up;
+- out-of-order block application is always rejected.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.errors import StateError
+from repro.ledger.state_db import StateDatabase, Version
+
+keys = st.sampled_from(["a", "b", "c", "d", "e", "f"])
+values = st.integers(min_value=-1000, max_value=1000)
+#: A block: per-transaction write sets, applied in tx order.
+tx_writes = st.lists(
+    st.dictionaries(keys, values, min_size=1, max_size=3),
+    min_size=1,
+    max_size=4,
+)
+
+
+class VersionedStateMachine(RuleBasedStateMachine):
+    """Live database, versioned model, and a catch-up replica."""
+
+    def __init__(self):
+        super().__init__()
+        self.db = StateDatabase()
+        self.replica = StateDatabase()
+        #: key -> (value, Version) — the oracle.
+        self.model = {}
+        self.block_id = 0
+        #: Retained block log: (block_id, [(tx_index, writes), ...]).
+        self.block_log = []
+
+    def _record(self, block_id, indexed_writes):
+        self.block_log.append((block_id, indexed_writes))
+        for tx_index, writes in indexed_writes:
+            for key, value in writes.items():
+                self.model[key] = (value, Version(block_id, tx_index))
+
+    @rule(block=tx_writes)
+    def apply_block_atomically(self, block):
+        """Vanilla commit: the whole block in one atomic application."""
+        self.block_id += 1
+        indexed = list(enumerate(block))
+        self.db.apply_block_writes(self.block_id, indexed)
+        self._record(self.block_id, indexed)
+
+    @rule(block=tx_writes)
+    def apply_block_inline(self, block):
+        """Fabric++ commit: per-transaction inline writes, then advance."""
+        self.block_id += 1
+        indexed = list(enumerate(block))
+        for tx_index, writes in indexed:
+            for key, value in writes.items():
+                self.db.apply_write(key, value, Version(self.block_id, tx_index))
+        self.db.advance_block(self.block_id)
+        self._record(self.block_id, indexed)
+
+    @rule()
+    def replica_catches_up(self):
+        """Replay every block the replica missed (the recovery path)."""
+        for block_id, indexed_writes in self.block_log:
+            if block_id <= self.replica.last_block_id:
+                continue
+            self.replica.apply_block_writes(block_id, indexed_writes)
+        assert self.replica.last_block_id == self.db.last_block_id
+        assert dict(self.replica.items()) == dict(self.db.items())
+
+    @precondition(lambda self: self.block_id > 0)
+    @rule(block=tx_writes)
+    def stale_block_is_rejected(self, block):
+        """Re-applying the current (or any older) block must fail."""
+        with pytest.raises(StateError):
+            self.db.apply_block_writes(self.block_id, list(enumerate(block)))
+
+    @invariant()
+    def values_and_versions_match_model(self):
+        assert len(self.db) == len(self.model)
+        for key, (value, version) in self.model.items():
+            entry = self.db.get(key)
+            assert entry.value == value
+            assert entry.version == version
+            assert self.db.read_is_current(key, version)
+
+    @invariant()
+    def absent_keys_read_as_current_none(self):
+        for key in ("zz", "yy"):
+            assert key not in self.db
+            assert self.db.read_is_current(key, None)
+
+    @invariant()
+    def range_scan_is_sorted_and_complete(self):
+        scanned = list(self.db.range_scan("a"))
+        assert [key for key, _entry in scanned] == sorted(self.model)
+
+    @invariant()
+    def height_tracks_blocks(self):
+        assert self.db.last_block_id == self.block_id
+
+
+TestVersionedStateMachine = VersionedStateMachine.TestCase
+TestVersionedStateMachine.settings = settings(
+    max_examples=25, stateful_step_count=25, deadline=None
+)

@@ -241,3 +241,115 @@ def test_ycsb_workload_via_cli():
     assert isinstance(workload, YcsbWorkload)
     assert workload.params.num_records == 500
     assert workload.params.mix == {"read": 0.95, "update": 0.05}
+
+
+# -- fault-injection flags ------------------------------------------------------
+
+
+def test_default_run_has_zero_fault_schedule():
+    config = config_from_args(parse(["run"]))
+    assert config.faults.is_zero
+    assert config.endorsement_policy is None
+
+
+def test_crash_and_stall_flags_build_schedule():
+    config = config_from_args(
+        parse(
+            ["run", "--crash", "peer1.OrgA@0.5+0.7", "--crash",
+             "peer0.OrgB@1.0+0.2", "--stall", "1.5+0.3"]
+        )
+    )
+    faults = config.faults
+    assert len(faults.crashes) == 2
+    assert faults.crashes[0].peer == "peer1.OrgA"
+    assert faults.crashes[0].at == 0.5
+    assert faults.crashes[0].duration == 0.7
+    assert faults.stalls[0].at == 1.5
+    # A deadline is defaulted in so the schedule validates.
+    assert faults.endorsement_timeout > 0
+    config.validate()
+
+
+def test_drop_and_jitter_flags_forwarded():
+    config = config_from_args(
+        parse(["run", "--drop-rate", "0.05", "--jitter", "0.002",
+               "--endorse-timeout", "0.1", "--endorse-retries", "5"])
+    )
+    assert config.faults.drop_probability == 0.05
+    assert config.faults.jitter_mean == 0.002
+    assert config.faults.endorsement_timeout == 0.1
+    assert config.faults.max_endorsement_retries == 5
+
+
+def test_bad_crash_spec_is_a_clean_error(capsys):
+    exit_code = main(["run", "--crash", "nonsense"])
+    assert exit_code == 2
+    assert "bad --crash" in capsys.readouterr().err
+
+
+def test_policy_and_resubmit_flags_forwarded():
+    config = config_from_args(
+        parse(["run", "--policy", "outof:1", "--max-resubmits", "4"])
+    )
+    assert config.endorsement_policy == "outof:1"
+    assert config.max_resubmits == 4
+    assert config_from_args(
+        parse(["run", "--max-resubmits", "-1"])
+    ).max_resubmits is None
+
+
+def test_run_command_with_faults_end_to_end(tmp_path, capsys):
+    ledger_path = tmp_path / "faulty-ledger.json"
+    exit_code = main(
+        ["run", "--workload", "smallbank", "--users", "300",
+         "--clients", "2", "--client-rate", "100", "--block-size", "32",
+         "--duration", "1.5", "--policy", "outof:1",
+         "--crash", "peer1.OrgA@0.4+0.5",
+         "--export-ledger", str(ledger_path)]
+    )
+    output = capsys.readouterr().out
+    assert exit_code == 0
+    assert "fault events:" in output
+    assert "crash" in output and "recover" in output
+    assert ledger_path.exists()
+    # The exported ledger of the faulty run verifies clean.
+    assert main(["verify-ledger", str(ledger_path)]) == 0
+    assert "OK:" in capsys.readouterr().out
+
+
+def test_verify_ledger_reports_block_index(tmp_path, capsys):
+    import json
+
+    ledger_path = tmp_path / "ledger.json"
+    exit_code = main(
+        ["run", "--workload", "smallbank", "--users", "300",
+         "--clients", "2", "--client-rate", "100", "--block-size", "32",
+         "--duration", "1.5", "--export-ledger", str(ledger_path)]
+    )
+    assert exit_code == 0
+    capsys.readouterr()
+    payload = json.loads(ledger_path.read_text())
+    assert len(payload["blocks"]) >= 2
+    del payload["blocks"][1]["transactions"][0]["writes"]
+    ledger_path.write_text(json.dumps(payload))
+    assert main(["verify-ledger", str(ledger_path)]) == 1
+    assert "block index 1" in capsys.readouterr().out
+
+
+def test_verify_ledger_truncated_file(tmp_path, capsys):
+    path = tmp_path / "truncated.json"
+    path.write_text('{"schema_version": 1, "blocks": [{')
+    assert main(["verify-ledger", str(path)]) == 1
+    assert "INVALID" in capsys.readouterr().out
+
+
+def test_sweep_drop_rate_axis(tmp_path, capsys):
+    exit_code = main(
+        ["sweep", "--workload", "smallbank", "--users", "200",
+         "--clients", "1", "--client-rate", "60", "--block-size", "32",
+         "--duration", "1.0", "--systems", "fabric",
+         "--sweep", "drop-rate=0.0,0.05", "--no-cache"]
+    )
+    output = capsys.readouterr().out
+    assert exit_code == 0
+    assert "drop-rate" in output
