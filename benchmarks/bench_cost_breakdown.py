@@ -1,0 +1,75 @@
+"""Figure 1 — where the pipeline spends its time, per resource.
+
+The paper motivates Fabric++ with a cost decomposition of the vanilla
+pipeline: cryptography (signing and verification) plus network transfer
+dominate end-to-end cost, while the actual transaction logic is a small
+slice. This benchmark reproduces that decomposition with the tracing
+layer: both systems run the smallbank workload under a
+:class:`repro.trace.Tracer` and report attributed seconds per resource
+(sign / verify / network / logic / ordering / ledger).
+
+Traced runs bypass the sweep engine on purpose: a tracer is runtime-only
+state attached to the live network, never part of a picklable spec, so
+it cannot cross a worker-process boundary (and must not enter cache
+fingerprints).
+"""
+
+from _bench_utils import DURATION, paper_config, smallbank_ref
+
+from repro.bench.harness import run_experiment_with_network
+from repro.bench.report import format_table
+from repro.bench.spec import ExperimentSpec
+from repro.trace import Tracer
+
+
+def run_cost_breakdown():
+    base = paper_config()
+    rows = []
+    tables = []
+    for label, config in (
+        ("Fabric", base.with_vanilla()),
+        ("Fabric++", base.with_fabric_plus_plus()),
+    ):
+        tracer = Tracer()
+        spec = ExperimentSpec(
+            config=config,
+            workload=smallbank_ref(s_value=1.0),
+            duration=DURATION,
+            label=label,
+        )
+        result, _network = run_experiment_with_network(spec, tracer=tracer)
+        breakdown = tracer.breakdown
+        tables.append(breakdown.table(title=f"{label} cost attribution"))
+        rows.append(
+            {
+                "system": label,
+                "successful_tps": result.successful_tps,
+                **{
+                    resource: round(seconds, 3)
+                    for resource, seconds in sorted(breakdown.seconds.items())
+                },
+                "crypto+net": f"{breakdown.crypto_network_share() * 100:.1f}%",
+            }
+        )
+    return rows, tables
+
+
+def test_cost_breakdown(benchmark):
+    rows, tables = benchmark.pedantic(run_cost_breakdown, rounds=1, iterations=1)
+    print()
+    for table in tables:
+        print(table)
+        print()
+    print(format_table(rows, title="Figure 1: cost attribution per resource"))
+    for row in rows:
+        share = float(row["crypto+net"].rstrip("%")) / 100.0
+        # The paper's motivating claim: crypto + network dominate.
+        assert share > 0.5, f"{row['system']}: crypto+network only {share:.0%}"
+
+
+if __name__ == "__main__":
+    rows, tables = run_cost_breakdown()
+    for table in tables:
+        print(table)
+        print()
+    print(format_table(rows, title="Figure 1"))

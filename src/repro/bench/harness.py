@@ -59,7 +59,7 @@ def run_experiment(
 
 
 def run_experiment_with_network(
-    spec: ExperimentSpec,
+    spec: ExperimentSpec, tracer=None
 ) -> "tuple[ExperimentResult, FabricNetwork]":
     """Run one spec and return the result *and* the live network.
 
@@ -67,9 +67,13 @@ def run_experiment_with_network(
     export (``repro-bench run --export-ledger``), crash-recovery oracle
     checks, and fault forensics. Plain sweeps should use
     :func:`run_experiment`; a live network is not picklable.
+
+    ``tracer`` (a :class:`repro.trace.Tracer`) opts the run into the
+    observability layer; it is runtime-only and never part of the spec,
+    so cache fingerprints are unaffected.
     """
     config = spec.resolved_config()
-    network = FabricNetwork(config, spec.build_workload())
+    network = FabricNetwork(config, spec.build_workload(), tracer=tracer)
     metrics = network.run(duration=spec.duration, drain=spec.drain)
     result = ExperimentResult(
         label=spec.resolved_label(),

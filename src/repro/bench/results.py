@@ -73,8 +73,13 @@ def config_from_dict(data: Dict[str, object]) -> FabricConfig:
 
 
 def metrics_to_dict(metrics: PipelineMetrics) -> Dict[str, object]:
-    """Full snapshot of one run's metrics (counters and samples)."""
-    return {
+    """Full snapshot of one run's metrics (counters and samples).
+
+    The ``cost_breakdown`` key appears only when a traced run attached
+    one, so snapshots of untraced runs are byte-identical to those of
+    pre-trace builds (golden-hash discipline).
+    """
+    snapshot = {
         "outcomes": {
             outcome.value: count
             for outcome, count in metrics.outcomes.items()
@@ -90,6 +95,9 @@ def metrics_to_dict(metrics: PipelineMetrics) -> Dict[str, object]:
         "fault_counters": dict(metrics.fault_counters),
         "fault_events": [list(event) for event in metrics.fault_events],
     }
+    if metrics.cost_breakdown is not None:
+        snapshot["cost_breakdown"] = metrics.cost_breakdown.to_dict()
+    return snapshot
 
 
 def metrics_from_dict(data: Dict[str, object]) -> PipelineMetrics:
@@ -109,6 +117,10 @@ def metrics_from_dict(data: Dict[str, object]) -> PipelineMetrics:
     # Absent in pre-fault snapshots (and cache entries written by them).
     metrics.fault_counters = dict(data.get("fault_counters", {}))
     metrics.fault_events = [tuple(event) for event in data.get("fault_events", [])]
+    if "cost_breakdown" in data:
+        from repro.trace.cost import CostBreakdown
+
+        metrics.cost_breakdown = CostBreakdown.from_dict(data["cost_breakdown"])
     return metrics
 
 

@@ -77,12 +77,20 @@ def _progress_enabled(progress: Optional[bool]) -> bool:
 class SweepProgress:
     """Live progress lines on stderr: completed/total, per-point time, ETA."""
 
-    def __init__(self, total: int, enabled: bool, live_total: int = 0) -> None:
+    def __init__(
+        self, total: int, enabled: bool, live_total: int = 0, jobs: int = 1
+    ) -> None:
         self.total = total
         self.enabled = enabled
         self.completed = 0
         self.live_total = live_total
         self.live_done = 0
+        #: Accumulated *measured* simulation seconds of uncached points.
+        #: The ETA divides this — never the sweep's wall clock, which also
+        #: covers cache scans and near-zero cache hits and would drag the
+        #: per-point mean toward zero.
+        self.live_seconds = 0.0
+        self.jobs = max(1, jobs)
         self.started = time.perf_counter()
 
     def point_done(self, description: str, seconds: float, cached: bool) -> None:
@@ -90,10 +98,11 @@ class SweepProgress:
         self.completed += 1
         if not cached:
             self.live_done += 1
+            self.live_seconds += seconds
         if not self.enabled:
             return
         if cached:
-            timing = "cache"
+            timing = "cache hit"
         else:
             timing = f"{seconds:.2f}s"
         eta = self._eta()
@@ -105,12 +114,17 @@ class SweepProgress:
         )
 
     def _eta(self) -> Optional[float]:
-        """Estimated seconds remaining, from live-point throughput."""
+        """Estimated seconds remaining for the *uncached* points.
+
+        Mean measured seconds per simulated point, times the uncached
+        points still outstanding, divided by how many workers can run
+        them concurrently. Cache hits contribute nothing to either term.
+        """
         remaining = self.live_total - self.live_done
         if remaining <= 0 or self.live_done == 0:
             return None
-        elapsed = time.perf_counter() - self.started
-        return elapsed / self.live_done * remaining
+        per_point = self.live_seconds / self.live_done
+        return per_point * remaining / min(self.jobs, remaining)
 
 
 def _mp_context():
@@ -181,6 +195,7 @@ def run_sweep(
         total=len(specs),
         enabled=_progress_enabled(progress),
         live_total=len(pending),
+        jobs=jobs,
     )
     for index in hits:
         stats.cached += 1
@@ -252,7 +267,10 @@ def parallel_map(
     items = list(items)
     jobs = resolve_jobs(jobs)
     reporter = SweepProgress(
-        total=len(items), enabled=_progress_enabled(progress), live_total=len(items)
+        total=len(items),
+        enabled=_progress_enabled(progress),
+        live_total=len(items),
+        jobs=jobs,
     )
     prefix = f"{label} " if label else ""
     outputs: List[object] = [None] * len(items)

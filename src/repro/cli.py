@@ -1,19 +1,22 @@
 """Command-line interface: run experiments without writing code.
 
-Four experiment subcommands mirror the library's main entry points::
+Five experiment subcommands mirror the library's main entry points::
 
     python -m repro run --workload smallbank --system fabric++ --s-value 1.5
     python -m repro compare --workload custom --hr 0.4 --hw 0.1 --duration 5
     python -m repro caliper --workload custom --rate 150
     python -m repro sweep --workload smallbank --sweep s-value=0.0,1.0,2.0 --jobs 4
+    python -m repro profile --workload smallbank --duration 2 --trace out.json
 
 ``run`` executes one system/workload combination and prints the metric
-summary; ``compare`` runs vanilla Fabric and Fabric++ on identical inputs
-and prints both plus the improvement factor; ``caliper`` reproduces the
-paper's Table 8 measurement discipline; ``sweep`` fans a parameter grid
-across worker processes (``--jobs``) with on-disk result caching in
-``.repro-cache/`` — a second identical invocation completes from cache
-without re-simulating.
+summary (``--trace PATH`` additionally records a Chrome trace and the
+per-resource cost table); ``compare`` runs vanilla Fabric and Fabric++ on
+identical inputs and prints both plus the improvement factor; ``caliper``
+reproduces the paper's Table 8 measurement discipline; ``sweep`` fans a
+parameter grid across worker processes (``--jobs``) with on-disk result
+caching in ``.repro-cache/`` — a second identical invocation completes
+from cache without re-simulating; ``profile`` traces both systems and
+prints the Figure 1-style cost attribution per resource.
 """
 
 from __future__ import annotations
@@ -73,6 +76,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("compare", "run vanilla Fabric and Fabric++ on identical inputs"),
         ("caliper", "Caliper-style latency/throughput measurement (Table 8)"),
         ("sweep", "run a parameter grid in parallel with result caching"),
+        ("profile", "trace both systems and attribute cost per resource"),
     ):
         sub = subcommands.add_parser(name, help=help_text)
         _add_workload_arguments(sub)
@@ -83,6 +87,14 @@ def build_parser() -> argparse.ArgumentParser:
                 "--export-ledger", metavar="PATH", default=None,
                 help="export the reference peer's verified ledger to PATH "
                      "as JSON (multi-channel runs add a .<channel> suffix)",
+            )
+        if name in ("run", "profile"):
+            sub.add_argument(
+                "--trace", metavar="PATH", default=None,
+                help="write a Chrome trace-event JSON file to PATH "
+                     "(open in Perfetto or chrome://tracing)"
+                     + (" — profile adds a .<system> suffix per system"
+                        if name == "profile" else ""),
             )
         sub.add_argument(
             "--duration", type=float, default=3.0,
@@ -333,18 +345,30 @@ def config_from_args(args: argparse.Namespace) -> FabricConfig:
 def command_run(args: argparse.Namespace) -> int:
     from repro.bench.harness import run_experiment_with_network
 
+    tracer = None
+    if getattr(args, "trace", None):
+        from repro.trace import Tracer
+
+        tracer = Tracer()
     spec = ExperimentSpec(
         config=config_from_args(args),
         workload=workload_ref_from_args(args),
         duration=args.duration,
         drain=args.drain,
     )
-    result, network = run_experiment_with_network(spec)
+    result, network = run_experiment_with_network(spec, tracer=tracer)
     print(format_table([result.row()], title=f"{result.label} / {args.workload}"))
     if result.metrics.fault_events:
         print("\nfault events:")
         for time, kind, subject in result.metrics.fault_events:
             print(f"  t={time:8.3f}s  {kind:<17s} {subject}")
+    if tracer is not None:
+        from repro.trace import write_chrome_trace
+
+        write_chrome_trace(args.trace, tracer)
+        print(f"\nwrote Chrome trace ({len(tracer.spans())} spans) to {args.trace}")
+        print()
+        print(tracer.breakdown.table(title=f"{result.label} cost attribution"))
     if args.export_ledger:
         from repro.ledger.export import save_ledger
 
@@ -494,6 +518,54 @@ def _sweep_factor_table(results, group_size: int) -> str:
     return format_table(rows, title="Fabric++ improvement per grid point")
 
 
+def command_profile(args: argparse.Namespace) -> int:
+    """Trace vanilla Fabric and Fabric++ and print the cost attribution.
+
+    The paper's Figure 1 motivates Fabric++ by decomposing where the
+    pipeline spends its time; this subcommand reproduces that view for
+    both systems on identical inputs. With ``--trace PATH`` each system's
+    Chrome trace is written to ``PATH.<system>``.
+    """
+    from repro.bench.harness import run_experiment_with_network
+    from repro.trace import Tracer, write_chrome_trace
+
+    base_config = config_from_args(args)
+    workload_ref = workload_ref_from_args(args)
+    rows = []
+    for system, config in (
+        ("fabric", base_config.with_vanilla()),
+        ("fabric++", base_config.with_fabric_plus_plus()),
+    ):
+        tracer = Tracer()
+        spec = ExperimentSpec(
+            config=config,
+            workload=workload_ref,
+            duration=args.duration,
+            drain=args.drain,
+        )
+        result, _network = run_experiment_with_network(spec, tracer=tracer)
+        print(tracer.breakdown.table(title=f"{result.label} cost attribution"))
+        print()
+        if args.trace:
+            path = f"{args.trace}.{system.replace('+', 'p')}"
+            write_chrome_trace(path, tracer)
+            print(f"wrote {result.label} Chrome trace "
+                  f"({len(tracer.spans())} spans) to {path}")
+            print()
+        rows.append(
+            {
+                "system": result.label,
+                "successful_tps": result.successful_tps,
+                "crypto_network_share": (
+                    f"{tracer.breakdown.crypto_network_share() * 100.0:.1f}%"
+                ),
+                "traced_seconds": round(tracer.breakdown.total_seconds, 3),
+            }
+        )
+    print(format_table(rows, title="profile summary"))
+    return 0
+
+
 def command_verify_ledger(args: argparse.Namespace) -> int:
     from repro.errors import LedgerError, LedgerVerificationError
     from repro.ledger.export import load_ledger
@@ -543,6 +615,7 @@ COMMANDS = {
     "compare": command_compare,
     "caliper": command_caliper,
     "sweep": command_sweep,
+    "profile": command_profile,
     "verify-ledger": command_verify_ledger,
 }
 

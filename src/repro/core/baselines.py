@@ -22,7 +22,7 @@ from itertools import combinations
 from typing import List, Sequence, Tuple
 
 from repro.core.conflict_graph import build_conflict_graph
-from repro.core.reorder import ReorderResult, _build_schedule
+from repro.core.reorder import ReorderResult, _build_schedule, wall_clock_seconds
 from repro.graphalgo import is_acyclic
 
 
@@ -44,6 +44,7 @@ def optimal_reorder(rwsets: Sequence, max_transactions: int = 16) -> ReorderResu
         raise ValueError(
             f"optimal_reorder is exponential; refusing n={n} > {max_transactions}"
         )
+    started = wall_clock_seconds()
     graph = build_conflict_graph(rwsets)
     if is_acyclic(graph):
         best = list(range(n))
@@ -67,7 +68,7 @@ def optimal_reorder(rwsets: Sequence, max_transactions: int = 16) -> ReorderResu
         schedule=schedule,
         aborted=aborted,
         cycles_found=0,
-        elapsed_seconds=0.0,
+        elapsed_seconds=wall_clock_seconds() - started,
     )
 
 

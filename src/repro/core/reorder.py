@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import heapq
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set
 
 from repro.core.conflict_graph import build_conflict_graph
@@ -36,6 +36,17 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.fabric.rwset import ReadWriteSet
 
 
+def wall_clock_seconds() -> float:
+    """The wall-clock channel's clock source.
+
+    Every wall-clock reading feeding :attr:`ReorderResult.elapsed_seconds`
+    goes through this single function, and the field is ``compare=False``:
+    wall time is reporting-only (the paper's Figures 15/16; trace span
+    args) and never participates in determinism comparisons.
+    """
+    return time.perf_counter()
+
+
 @dataclass
 class ReorderResult:
     """Outcome of reordering one block.
@@ -44,13 +55,14 @@ class ReorderResult:
     commit order; ``aborted`` the indices removed to break conflict
     cycles. ``elapsed_seconds`` is the wall-clock cost of the reordering
     computation itself (the quantity plotted in the paper's Figures 15
-    and 16); it is *not* simulated time.
+    and 16); it is *not* simulated time, and it is excluded from equality
+    so two runs over the same block compare equal field-for-field.
     """
 
     schedule: List[int]
     aborted: List[int]
     cycles_found: int
-    elapsed_seconds: float
+    elapsed_seconds: float = field(default=0.0, compare=False)
 
     @property
     def num_kept(self) -> int:
@@ -73,7 +85,7 @@ def reorder(
     cycles are cleared, residual cycles are broken by a linear-time
     feedback-vertex-set sweep.
     """
-    started = time.perf_counter()
+    started = wall_clock_seconds()
     if max_cycle_nodes is None:
         max_cycle_nodes = max(10_000, 10 * len(rwsets))
 
@@ -119,7 +131,7 @@ def reorder(
     local_schedule = _build_schedule(reduced)
     schedule = [surviving[local] for local in local_schedule]
 
-    elapsed = time.perf_counter() - started
+    elapsed = wall_clock_seconds() - started
     return ReorderResult(
         schedule=schedule,
         aborted=sorted(aborted),

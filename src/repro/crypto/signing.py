@@ -14,8 +14,26 @@ registry is trusted exactly as the MSP's certificate chain is in Fabric.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Optional
 
 from repro.crypto.identity import Identity, IdentityRegistry, mac
+
+#: Optional observer called as ``recorder(kind, payload_size)`` for every
+#: crypto primitive invocation ("sign" / "verify"). Installed by the trace
+#: layer for the duration of a traced run; None means no overhead beyond
+#: one comparison per call.
+_trace_recorder: Optional[Callable[[str, int], None]] = None
+
+
+def set_trace_recorder(
+    recorder: Optional[Callable[[str, int], None]]
+) -> Optional[Callable[[str, int], None]]:
+    """Install ``recorder`` as the crypto-op observer; returns the previous
+    one so callers can restore it (try/finally discipline)."""
+    global _trace_recorder
+    previous = _trace_recorder
+    _trace_recorder = recorder
+    return previous
 
 
 @dataclass(frozen=True)
@@ -31,6 +49,8 @@ class Signature:
 
 def sign(identity: Identity, payload: bytes) -> Signature:
     """Sign ``payload`` as ``identity``."""
+    if _trace_recorder is not None:
+        _trace_recorder("sign", len(payload))
     return Signature(identity.name, mac(identity.keypair.secret, payload))
 
 
@@ -41,6 +61,8 @@ def verify(registry: IdentityRegistry, signature: Signature, payload: bytes) -> 
     signer — validation marks such transactions invalid, it does not
     crash the peer.
     """
+    if _trace_recorder is not None:
+        _trace_recorder("verify", len(payload))
     if signature.signer not in registry:
         return False
     identity = registry.lookup(signature.signer)

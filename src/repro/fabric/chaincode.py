@@ -62,6 +62,8 @@ class ChaincodeStub:
         self._state = state
         self._start_block_id = start_block_id
         self.rwset = ReadWriteSet()
+        #: State operations performed through this stub (trace span detail).
+        self.operations = 0
 
     def get_state(self, key: str) -> object:
         """Read ``key`` from the current state, recording the read.
@@ -70,6 +72,7 @@ class ChaincodeStub:
         always observe committed state, never the transaction's own
         pending writes.
         """
+        self.operations += 1
         entry = self._state.get(key)
         if entry is None:
             self.rwset.record_read(key, None)
@@ -94,6 +97,7 @@ class ChaincodeStub:
         """
         from repro.fabric.rwset import RangeRead
 
+        self.operations += 1
         scan = getattr(self._state, "range_scan", None)
         if scan is None:
             raise ChaincodeError("this state view does not support range scans")
@@ -117,10 +121,12 @@ class ChaincodeStub:
         """Buffer a write of ``value`` to ``key`` into the write set."""
         if value is None:
             raise ChaincodeError("cannot put None; use del_state()")
+        self.operations += 1
         self.rwset.record_write(key, value)
 
     def del_state(self, key: str) -> None:
         """Buffer a deletion of ``key`` (modelled as a tombstone write)."""
+        self.operations += 1
         self.rwset.record_write(key, Tombstone())
 
 

@@ -37,6 +37,7 @@ from repro.faults import FaultInjector
 from repro.sim.distributions import Rng
 from repro.sim.engine import Environment, Event
 from repro.sim.resources import Resource
+from repro.trace.tracer import ASYNC, Tracer
 from repro.workloads.base import Workload
 
 
@@ -59,6 +60,7 @@ class Client:
         register_pending: Callable[..., None],
         faults: Optional[FaultInjector] = None,
         fault_rng: Optional[Rng] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.env = env
         self.identity = identity
@@ -73,6 +75,7 @@ class Client:
         self._register_pending = register_pending
         self.faults = faults
         self.fault_rng = fault_rng
+        self.tracer = tracer
         # Round-robin endorser choice per org, as real SDKs load-balance.
         self._endorser_cycles = {
             org: itertools.cycle(list(peers))
@@ -140,7 +143,10 @@ class Client:
             return
 
         costs = self.config.costs
+        tracer = self.tracer
         yield from self.machine_cpu.use(costs.client_proposal)
+        if tracer is not None:
+            tracer.charge("sign", costs.client_proposal)
 
         endorsers = self._pick_endorsers()
         # Ship the proposal to the endorsers (one network hop) and gather
@@ -150,6 +156,23 @@ class Client:
             [peer.endorse(self.channel, proposal) for peer in endorsers]
         )
         yield self.env.timeout(costs.net_message)
+        if tracer is not None:
+            # One proposal hop out plus one endorsement hop back per
+            # contacted endorser.
+            tracer.charge(
+                "network",
+                2 * costs.net_message * len(endorsers),
+                count=2 * len(endorsers),
+            )
+            tracer.span(
+                "tx.endorse",
+                cat="client",
+                track=f"client/{self.identity.name}",
+                start=proposal.submitted_at,
+                tx_id=proposal.proposal_id,
+                mode=ASYNC,
+                endorsers=len(endorsers),
+            )
 
         early = [reply for reply in replies if reply.early_aborted]
         if early:
@@ -162,6 +185,12 @@ class Client:
         yield from self.machine_cpu.use(
             costs.client_verify_endorsement * len(replies)
         )
+        if tracer is not None:
+            tracer.charge(
+                "verify",
+                costs.client_verify_endorsement * len(replies),
+                count=len(replies),
+            )
         endorsements = [reply.endorsement for reply in replies]
         reference = endorsements[0].rwset
         if any(e.rwset != reference for e in endorsements[1:]):
@@ -181,6 +210,8 @@ class Client:
             transaction.tx_id, self, proposal.submitted_at, retries
         )
         yield self.env.timeout(costs.net_message)
+        if tracer is not None:
+            tracer.charge("network", costs.net_message)
         self.orderer.submit(transaction)
 
     # -- fault-tolerant endorsement collection -----------------------------------------
@@ -200,6 +231,8 @@ class Client:
         costs = self.config.costs
         schedule = self.config.faults
         yield from self.machine_cpu.use(costs.client_proposal)
+        if self.tracer is not None:
+            self.tracer.charge("sign", costs.client_proposal)
 
         for attempt in range(schedule.max_endorsement_retries + 1):
             endorsers = self._pick_robust_endorsers()
@@ -239,6 +272,12 @@ class Client:
                 yield from self.machine_cpu.use(
                     costs.client_verify_endorsement * len(endorsements)
                 )
+                if self.tracer is not None:
+                    self.tracer.charge(
+                        "verify",
+                        costs.client_verify_endorsement * len(endorsements),
+                        count=len(endorsements),
+                    )
                 reference = endorsements[0].rwset
                 if any(e.rwset != reference for e in endorsements[1:]):
                     self.resolve(
@@ -256,6 +295,8 @@ class Client:
                     transaction.tx_id, self, proposal.submitted_at, retries
                 )
                 yield self.env.timeout(costs.net_message)
+                if self.tracer is not None:
+                    self.tracer.charge("network", costs.net_message)
                 self.orderer.submit(transaction)
                 return
 
@@ -289,6 +330,8 @@ class Client:
             yield self.env.timeout(schedule.endorsement_timeout)
             return None
         yield self.env.timeout(delay)
+        if self.tracer is not None:
+            self.tracer.charge("network", delay)
         reply = yield peer.endorse(self.channel, proposal)
         if reply.down:
             self.faults.record("endorsements_refused")
@@ -298,6 +341,8 @@ class Client:
             yield self.env.timeout(schedule.endorsement_timeout)
             return None
         yield self.env.timeout(back)
+        if self.tracer is not None:
+            self.tracer.charge("network", back)
         return reply
 
     def _pick_endorsers(self) -> List[Peer]:
@@ -327,6 +372,7 @@ class Client:
         outcome: TxOutcome,
         submitted_at: Optional[float] = None,
         retries: int = 0,
+        tx_id: Optional[str] = None,
     ) -> None:
         """Record a terminal outcome and free the client slot.
 
@@ -337,8 +383,21 @@ class Client:
         """
         if submitted_at is None:
             submitted_at = proposal_or_submitted.submitted_at
+            if tx_id is None:
+                tx_id = proposal_or_submitted.proposal_id
         latency = self.env.now - submitted_at
         self.metrics.record_outcome(outcome, latency, now=self.env.now)
+        if self.tracer is not None:
+            self.tracer.span(
+                "tx.lifecycle",
+                cat="client",
+                track=f"client/{self.identity.name}",
+                start=submitted_at,
+                tx_id=tx_id,
+                mode=ASYNC,
+                outcome=outcome.value,
+                retries=retries,
+            )
         self._in_flight -= 1
         if self._slot_waiter is not None and not self._slot_waiter.triggered:
             self._slot_waiter.succeed()

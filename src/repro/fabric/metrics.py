@@ -10,8 +10,11 @@ per-transaction latencies for one run.
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
+
+from repro.trace.cost import CostBreakdown
 
 
 class TxOutcome(enum.Enum):
@@ -70,8 +73,13 @@ class LatencyStats:
         ordered = sorted(samples)
 
         def percentile(fraction: float) -> float:
-            index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
-            return ordered[index]
+            # Nearest-rank definition: the smallest sample such that at
+            # least ``fraction`` of the data is <= it. Unlike rounding an
+            # interpolated index (whose banker's rounding made p50 of two
+            # samples the *minimum* and percentiles non-monotone in n),
+            # nearest-rank is exact and monotone in the fraction.
+            rank = min(len(ordered), math.ceil(fraction * len(ordered)))
+            return ordered[max(0, rank - 1)]
 
         return cls(
             count=len(ordered),
@@ -115,6 +123,10 @@ class PipelineMetrics:
     #: Timestamped fault events: (simulated time, kind, subject), e.g.
     #: ``(0.5, "crash", "peer1.OrgA")``. Empty on healthy runs.
     fault_events: List[tuple] = field(default_factory=list)
+    #: Figure 1-style per-resource cost attribution. Set only by traced
+    #: runs; None (and absent from summaries) otherwise, so untraced
+    #: result rows are byte-identical to pre-trace builds.
+    cost_breakdown: Optional[CostBreakdown] = None
 
     def record_fired(self) -> None:
         """Count one fired proposal."""
@@ -312,4 +324,9 @@ class PipelineMetrics:
         faults = self.fault_summary()
         if faults:
             summary["faults"] = faults
+        if self.cost_breakdown is not None:
+            # Compact enough for a table cell; the full per-resource dict
+            # travels via results.metrics_to_dict instead.
+            share = self.cost_breakdown.crypto_network_share()
+            summary["crypto_network_share"] = round(share, 4)
         return summary

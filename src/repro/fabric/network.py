@@ -26,6 +26,7 @@ from repro.ledger.block import Block
 from repro.sim.distributions import Rng
 from repro.sim.engine import Environment
 from repro.sim.resources import Resource
+from repro.trace.tracer import Tracer
 from repro.workloads.base import Workload
 
 #: A workload shared by all channels, or a factory keyed by channel index.
@@ -50,12 +51,19 @@ class FabricNetwork:
         config: FabricConfig,
         workload: WorkloadSpec,
         policy: Optional[EndorsementPolicy] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         config.validate()
         self.config = config
         self.env = Environment()
         self.registry = IdentityRegistry()
         self.metrics = PipelineMetrics()
+        # The tracer is a runtime-only argument — never part of the
+        # config — so cache fingerprints and result rows are unaffected
+        # by whether a run was observed.
+        self.tracer = tracer
+        if tracer is not None:
+            tracer.bind(self.env)
 
         self.orgs = [f"Org{chr(ord('A') + i)}" for i in range(config.num_orgs)]
         if policy is None and config.endorsement_policy:
@@ -71,7 +79,7 @@ class FabricNetwork:
         for org in self.orgs:
             for index in range(config.peers_per_org):
                 identity = self.registry.register(f"peer{index}.{org}", org)
-                peer = Peer(self.env, identity, config, self.registry)
+                peer = Peer(self.env, identity, config, self.registry, tracer=tracer)
                 self.peers.append(peer)
                 self.peers_by_org[org].append(peer)
         self.reference_peer = self.peers[0]
@@ -139,6 +147,7 @@ class FabricNetwork:
             self.orderer_cpu,
             broadcast=self._broadcast,
             notify=self._notify,
+            tracer=self.tracer,
         )
         self.orderers[channel] = orderer
 
@@ -169,6 +178,7 @@ class FabricNetwork:
                 register_pending=self._register_pending,
                 faults=self.faults,
                 fault_rng=fault_rng,
+                tracer=self.tracer,
             )
             self.clients.append(client)
 
@@ -189,8 +199,19 @@ class FabricNetwork:
         base_delay = self.config.costs.block_distribution_delay(size)
         gossip_hop = self.config.costs.gossip_hop
 
+        tracer = self.tracer
+
         def deliver(peer: Peer, delay: float):
             yield self.env.timeout(delay)
+            if tracer is not None:
+                tracer.charge("network", delay)
+                tracer.instant(
+                    "block.deliver",
+                    cat="net",
+                    track="net/blocks",
+                    block_id=block.block_id,
+                    peer=peer.name,
+                )
             peer.deliver_block(channel, block)
 
         if self.faults is None:
@@ -212,6 +233,15 @@ class FabricNetwork:
                 delay = self.faults.message_delay(base)
                 if delay is not None:
                     yield self.env.timeout(delay)
+                    if tracer is not None:
+                        tracer.charge("network", delay)
+                        tracer.instant(
+                            "block.deliver",
+                            cat="net",
+                            track="net/blocks",
+                            block_id=block.block_id,
+                            peer=peer.name,
+                        )
                     peer.deliver_block(channel, block)
                     return
                 yield self.env.timeout(redelivery)
@@ -290,7 +320,9 @@ class FabricNetwork:
         if entry is None:
             return  # already resolved (e.g. orderer aborted it earlier)
         client, submitted_at, retries = entry
-        client.resolve(None, outcome, submitted_at=submitted_at, retries=retries)
+        client.resolve(
+            None, outcome, submitted_at=submitted_at, retries=retries, tx_id=tx_id
+        )
 
     # -- running ---------------------------------------------------------------------
 
@@ -325,6 +357,16 @@ class FabricNetwork:
                 client.stop()
 
         self.env.process(stop_clients(), name="stop-clients")
-        self.env.run(until=duration + drain)
+        if self.tracer is not None:
+            from repro.crypto import signing
+
+            previous = signing.set_trace_recorder(self.tracer.record_crypto_op)
+            try:
+                self.env.run(until=duration + drain)
+            finally:
+                signing.set_trace_recorder(previous)
+            self.metrics.cost_breakdown = self.tracer.breakdown
+        else:
+            self.env.run(until=duration + drain)
         self.metrics.duration = duration
         return self.metrics

@@ -26,6 +26,7 @@ from repro.ledger.block import Block
 from repro.ledger.ledger import GENESIS_HASH
 from repro.sim.engine import Environment
 from repro.sim.resources import Resource, Store
+from repro.trace.tracer import ASYNC, Tracer
 
 
 class OrderingService:
@@ -39,6 +40,7 @@ class OrderingService:
         cpu: Resource,
         broadcast: Callable[[str, Block], None],
         notify: Callable[[str, TxOutcome], None],
+        tracer: Optional[Tracer] = None,
     ) -> None:
         """``broadcast`` ships a cut block to all peers; ``notify`` resolves
         early-aborted transactions back to their clients."""
@@ -46,6 +48,7 @@ class OrderingService:
         self.channel = channel
         self.config = config
         self.cpu = cpu
+        self.tracer = tracer
         self.incoming: Store = Store(env)
         self._broadcast = broadcast
         self._notify = notify
@@ -68,6 +71,8 @@ class OrderingService:
 
     def submit(self, transaction: Transaction) -> None:
         """Accept a transaction from a client."""
+        if self.tracer is not None:
+            transaction.orderer_arrival = self.env.now
         self.incoming.put(transaction)
 
     def install_stalls(self, windows: tuple) -> None:
@@ -90,6 +95,8 @@ class OrderingService:
             self.txs_received += 1
             yield from self._maybe_stall()
             yield from self.cpu.use(self.config.costs.order_tx)
+            if self.tracer is not None:
+                self.tracer.charge("ordering", self.config.costs.order_tx)
             was_empty = self._cutter.is_empty
             reason = self._cutter.add(transaction, self.env.now)
             if reason is not None:
@@ -116,11 +123,18 @@ class OrderingService:
         self._generation += 1
         if not batch:  # pragma: no cover - cut() callers guard non-empty
             return
+        tracer = self.tracer
+        cut_start = self.env.now
+        arrivals = {tx.tx_id: tx.orderer_arrival for tx in batch}
         costs = self.config.costs
         yield from self._maybe_stall()
         yield from self.cpu.use(costs.order_block)
+        if tracer is not None:
+            tracer.charge("ordering", costs.order_block)
 
         early_aborted: List[Transaction] = []
+        cycles_found = 0
+        reorder_wall_seconds = 0.0
 
         if self.config.early_abort_ordering:
             batch, version_aborts = self._apply_version_filter(batch)
@@ -128,8 +142,14 @@ class OrderingService:
 
         if self.config.reordering and batch:
             yield from self.cpu.use(costs.reorder_per_tx * len(batch))
+            if tracer is not None:
+                tracer.charge(
+                    "ordering", costs.reorder_per_tx * len(batch), count=len(batch)
+                )
             rwsets = [tx.rwset for tx in batch]
             result = reorder(rwsets, max_cycles=self.config.max_cycles_per_block)
+            cycles_found = result.cycles_found
+            reorder_wall_seconds = result.elapsed_seconds
             for index in result.aborted:
                 tx = batch[index]
                 tx.failure_reason = TxOutcome.EARLY_ABORT_CYCLE.value
@@ -147,6 +167,34 @@ class OrderingService:
         self._next_block_id += 1
         self._tip_hash = block.header.data_hash
         self.blocks_cut += 1
+        if tracer is not None:
+            # Queue-wait spans: submission to cut, per transaction of the
+            # batch (including the ones this cut early-aborted).
+            for tx_id, arrival in arrivals.items():
+                if arrival is not None:
+                    tracer.span(
+                        "orderer.queue",
+                        cat="order",
+                        track=f"orderer/{self.channel}/queue",
+                        start=arrival,
+                        tx_id=tx_id,
+                        mode=ASYNC,
+                    )
+            tracer.span(
+                "orderer.cut",
+                cat="order",
+                track=f"orderer/{self.channel}",
+                start=cut_start,
+                reason=reason.value,
+                block_id=block.block_id,
+                batch=len(block.transactions),
+                early_aborts=len(early_aborted),
+                cycles_found=cycles_found,
+                # Wall-clock channel: the reordering computation's real
+                # elapsed time, reported here so deterministic result
+                # objects never carry it.
+                reorder_wall_seconds=reorder_wall_seconds,
+            )
         self._broadcast(self.channel, block)
 
     def _apply_version_filter(self, batch: List[Transaction]):

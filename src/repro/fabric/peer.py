@@ -33,6 +33,7 @@ from repro.ledger.ledger import Ledger
 from repro.ledger.state_db import StateDatabase, Version
 from repro.sim.engine import Environment, Process
 from repro.sim.resources import Resource, RWLock, Store
+from repro.trace.tracer import ASYNC, Tracer
 
 #: CPU scheduling bands within a peer: validation preempts endorsement.
 VALIDATE_PRIORITY = 0
@@ -79,11 +80,13 @@ class Peer:
         identity: Identity,
         config: FabricConfig,
         registry: IdentityRegistry,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.env = env
         self.identity = identity
         self.config = config
         self.registry = registry
+        self.tracer = tracer
         self.cpu = Resource(env, config.cores_per_peer)
         self.channels: Dict[str, PeerChannelState] = {}
         #: Straggler knob: all of this peer's simulated CPU durations are
@@ -158,6 +161,8 @@ class Peer:
     def _endorse_process(self, channel: str, proposal: Proposal) -> Generator:
         pcs = self.channels[channel]
         costs = self.config.costs
+        tracer = self.tracer
+        endorse_start = self.env.now
         if self.crashed:
             # Connection refused: the client learns quickly that this
             # endorser is gone (its own network hops model the latency).
@@ -190,6 +195,8 @@ class Peer:
                 stub = ChaincodeStub(pcs.state, start_block_id=None)
                 chaincode.invoke(stub, proposal.function, proposal.args)
                 yield self.env.timeout(execution_time)
+                if tracer is not None:
+                    tracer.charge("logic", execution_time, count=stub.operations)
                 if self.crashed:
                     return EndorseReply(None, down=True)
                 if vanilla:
@@ -206,6 +213,18 @@ class Peer:
                     # saved, and the client learns immediately.
                     for key, version in stub.rwset.reads.items():
                         if pcs.state.get_version(key) != version:
+                            if tracer is not None:
+                                tracer.span(
+                                    "peer.endorse",
+                                    cat="endorse",
+                                    track=f"endorse/{self.name}",
+                                    start=endorse_start,
+                                    tx_id=proposal.proposal_id,
+                                    mode=ASYNC,
+                                    ops=stub.operations,
+                                    early_abort=True,
+                                    stale_key=key,
+                                )
                             return EndorseReply(
                                 None, early_aborted=True, stale_key=key
                             )
@@ -213,6 +232,10 @@ class Peer:
                 if self.byzantine_rwset_hook is not None:
                     rwset = self.byzantine_rwset_hook(rwset)
                 yield self.env.timeout(costs.endorse_sign * self.speed_factor)
+                if tracer is not None:
+                    tracer.charge(
+                        "sign", costs.endorse_sign * self.speed_factor
+                    )
             finally:
                 self.cpu.release()
         finally:
@@ -221,6 +244,17 @@ class Peer:
 
         signature = sign(self.identity, endorsement_payload(proposal, rwset))
         endorsement = Endorsement(self.name, self.org, rwset, signature)
+        if tracer is not None:
+            tracer.span(
+                "peer.endorse",
+                cat="endorse",
+                track=f"endorse/{self.name}",
+                start=endorse_start,
+                tx_id=proposal.proposal_id,
+                mode=ASYNC,
+                ops=stub.operations,
+                early_abort=False,
+            )
         return EndorseReply(endorsement)
 
     # -- validation + commit phase ----------------------------------------------
@@ -251,6 +285,9 @@ class Peer:
                     pcs.pending_blocks[block.block_id] = block
             block = pcs.pending_blocks.pop(expected)
             pcs.validating = True
+            tracer = self.tracer
+            block_start = self.env.now
+            committed_in_block = 0
             if vanilla:
                 # Vanilla serialises validation against simulation: the
                 # whole block validation runs under the exclusive write
@@ -261,10 +298,15 @@ class Peer:
                 yield pcs.lock.acquire_write()
             try:
                 yield from self.cpu.use(costs.block_overhead * self.speed_factor)
+                if tracer is not None:
+                    tracer.charge(
+                        "ledger", costs.block_overhead * self.speed_factor
+                    )
 
                 pending_writes: Dict[str, Version] = {}
                 valid_writes: List[Tuple[int, Dict[str, object]]] = []
                 for index, tx in enumerate(block.transactions):
+                    tx_start = self.env.now
                     yield from self.cpu.use(
                         costs.tx_validation_cost(len(tx.endorsements))
                         * self.speed_factor
@@ -274,6 +316,27 @@ class Peer:
                     )
                     valid = outcome is TxOutcome.COMMITTED
                     block.mark(tx.tx_id, valid)
+                    if tracer is not None:
+                        verify_cost = (
+                            costs.verify_signature
+                            * len(tx.endorsements)
+                            / costs.validation_parallelism
+                        ) * self.speed_factor
+                        tracer.charge(
+                            "verify", verify_cost, count=len(tx.endorsements)
+                        )
+                        tracer.charge(
+                            "logic", costs.mvcc_check * self.speed_factor
+                        )
+                        tracer.span(
+                            "tx.validate",
+                            cat="validate",
+                            track=f"{self.name}/{channel}/validator",
+                            start=tx_start,
+                            tx_id=tx.tx_id,
+                            outcome=outcome.value,
+                        )
+                        committed_in_block += 1 if valid else 0
                     if valid:
                         version = Version(block.block_id, index)
                         if vanilla:
@@ -302,6 +365,16 @@ class Peer:
                 else:
                     pcs.state.advance_block(block.block_id)
                 pcs.ledger.append(block)
+                if tracer is not None:
+                    tracer.span(
+                        "block.validate",
+                        cat="validate",
+                        track=f"{self.name}/{channel}/validator",
+                        start=block_start,
+                        block_id=block.block_id,
+                        txs=len(block.transactions),
+                        committed=committed_in_block,
+                    )
             finally:
                 pcs.validating = False
                 if vanilla:

@@ -77,6 +77,9 @@ class Transaction:
     assembled_at: float = 0.0
     #: Simulated time at which the ordering service cut it into a block.
     ordered_at: Optional[float] = None
+    #: Simulated time the orderer received it. Stamped only by traced
+    #: runs (feeds the orderer queue-wait span); never hashed or compared.
+    orderer_arrival: Optional[float] = None
     #: Filled by the pipeline for latency accounting.
     committed_at: Optional[float] = None
     #: Why the transaction failed, if it did (validation code or early abort).

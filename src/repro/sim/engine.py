@@ -201,11 +201,21 @@ class Environment:
         self._now = 0.0
         self._queue: List[tuple] = []
         self._sequence = 0
+        self._trace_hook: Optional[Callable[[float, Event], None]] = None
 
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    def set_trace_hook(
+        self, hook: Optional[Callable[[float, Event], None]]
+    ) -> None:
+        """Install an observer called as ``hook(time, event)`` for every
+        processed event. Observation only: the hook must not schedule
+        events or mutate simulation state, so a hooked run is bit-identical
+        to an unhooked one."""
+        self._trace_hook = hook
 
     def _schedule(self, event: Event, delay: float) -> None:
         self._sequence += 1
@@ -278,6 +288,8 @@ class Environment:
         """Process the next scheduled event."""
         time, _seq, event = heapq.heappop(self._queue)
         self._now = time
+        if self._trace_hook is not None:
+            self._trace_hook(time, event)
         event._run_callbacks()
         if event._exception is not None and not isinstance(event, Process):
             # Failed plain events with no handler would vanish silently;

@@ -9,23 +9,45 @@ example and the network's ``attach_sampler`` use it.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Generator, List
+from typing import Callable, Dict, Generator, List, Optional
 
 from repro.errors import SimulationError
 from repro.sim.engine import Environment
+from repro.trace.tracer import Tracer
 
 
 class Sampler:
-    """Samples named probes every ``interval`` simulated seconds."""
+    """Samples named probes every ``interval`` simulated seconds.
 
-    def __init__(self, env: Environment, interval: float = 0.1) -> None:
+    A probe that raises (e.g. one probing a peer that has crashed under a
+    fault schedule) does not kill the sampler: the failing probe's value
+    is skipped for that tick, the error is counted in ``probe_errors``
+    and logged in ``error_log``, and sampling continues — pinned by
+    ``tests/sim/test_monitor.py``.
+
+    Passing a :class:`~repro.trace.tracer.Tracer` forwards every sampled
+    value as a counter on the trace timeline, so queue depths render
+    under the pipeline spans in the Chrome trace.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        interval: float = 0.1,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         if interval <= 0:
             raise SimulationError("sampling interval must be > 0")
         self.env = env
         self.interval = interval
+        self.tracer = tracer
         self._probes: Dict[str, Callable[[], float]] = {}
         #: One dict per tick: {"t": time, probe_name: value, ...}.
         self.samples: List[Dict[str, float]] = []
+        #: Errors raised by each probe while sampling (skip-and-record).
+        self.probe_errors: Dict[str, int] = {}
+        #: First few recorded failures: (time, probe name, error repr).
+        self.error_log: List[tuple] = []
         self._started = False
 
     def watch(self, name: str, probe: Callable[[], float]) -> None:
@@ -46,7 +68,18 @@ class Sampler:
             yield self.env.timeout(self.interval)
             tick: Dict[str, float] = {"t": self.env.now}
             for name, probe in self._probes.items():
-                tick[name] = float(probe())
+                try:
+                    value = float(probe())
+                except Exception as error:
+                    # Skip-and-record: a dead probe must not silently
+                    # kill observation of every *other* probe mid-run.
+                    self.probe_errors[name] = self.probe_errors.get(name, 0) + 1
+                    if len(self.error_log) < 100:
+                        self.error_log.append((self.env.now, name, repr(error)))
+                    continue
+                tick[name] = value
+                if self.tracer is not None:
+                    self.tracer.counter(name, value, t=self.env.now)
             self.samples.append(tick)
 
     # -- analysis helpers ----------------------------------------------------

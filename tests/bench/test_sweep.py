@@ -110,3 +110,54 @@ def test_progress_lines_report_points(capsys):
     parallel_map(_square, [1, 2], jobs=1, progress=True, label="demo")
     err = capsys.readouterr().err
     assert "[1/2]" in err and "[2/2]" in err and "demo" in err
+
+
+def test_eta_uses_measured_point_seconds_not_wall_clock(capsys):
+    """Regression: the ETA used to divide the sweep's *wall-clock* elapsed
+    time (which also covers cache scans and near-instant cache hits) by
+    the live-point count, so a sweep resumed from a warm cache predicted
+    an ETA of ~0 for the points still to simulate. The estimate must come
+    from the measured seconds of uncached points only."""
+    from repro.bench.sweep import SweepProgress
+
+    reporter = SweepProgress(total=4, enabled=True, live_total=4, jobs=1)
+    # No real time passes in this test; only the reported seconds matter.
+    reporter.point_done("p1", 10.0, cached=False)
+    err = capsys.readouterr().err
+    assert "eta 30s" in err  # 10 s/point * 3 remaining / 1 worker
+    reporter.point_done("p2", 20.0, cached=False)
+    err = capsys.readouterr().err
+    assert "eta 30s" in err  # mean 15 s/point * 2 remaining / 1 worker
+
+
+def test_eta_divides_by_available_workers(capsys):
+    from repro.bench.sweep import SweepProgress
+
+    reporter = SweepProgress(total=5, enabled=True, live_total=5, jobs=2)
+    reporter.point_done("p1", 10.0, cached=False)
+    err = capsys.readouterr().err
+    assert "eta 20s" in err  # 10 s/point * 4 remaining / 2 workers
+
+
+def test_cache_hits_do_not_skew_eta(capsys):
+    """Cache hits are labelled distinctly and contribute nothing to the
+    per-point estimate or the remaining-points count."""
+    from repro.bench.sweep import SweepProgress
+
+    reporter = SweepProgress(total=3, enabled=True, live_total=1, jobs=1)
+    reporter.point_done("warm1", 0.0, cached=True)
+    reporter.point_done("warm2", 0.0, cached=True)
+    err = capsys.readouterr().err
+    assert err.count("cache hit") == 2
+    assert "eta" not in err  # nothing measured yet
+    reporter.point_done("cold", 8.0, cached=False)
+    err = capsys.readouterr().err
+    assert "8.00s" in err
+    assert "eta" not in err  # last live point: nothing remains
+
+
+def test_eta_absent_before_first_live_point(capsys):
+    from repro.bench.sweep import SweepProgress
+
+    reporter = SweepProgress(total=2, enabled=True, live_total=2, jobs=1)
+    assert reporter._eta() is None

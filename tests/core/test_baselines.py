@@ -126,3 +126,17 @@ def test_bcc_schedule_validates():
     schedule, aborted = bcc_reorder(block)
     assert count_valid_in_order(block, schedule) == len(schedule)
     assert sorted(schedule + aborted) == [0, 1, 2, 3]
+
+
+def test_optimal_reorder_measures_wall_clock():
+    """Regression: ``optimal_reorder`` used to hardcode
+    ``elapsed_seconds=0.0`` instead of measuring through the same
+    wall-clock channel as :func:`repro.core.reorder.reorder`."""
+    block = [
+        rwset(reads=["a"], writes=["b"]),
+        rwset(reads=["b"], writes=["a"]),
+    ]
+    result = optimal_reorder(block)
+    assert result.elapsed_seconds > 0.0
+    # And the measurement never leaks into result equality.
+    assert result == optimal_reorder(block)

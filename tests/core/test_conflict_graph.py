@@ -114,3 +114,16 @@ def test_schedule_is_serializable_partial_schedule():
     assert schedule_is_serializable([a, b], [1])
     assert not schedule_is_serializable([a, b], [0, 1])
     assert not schedule_is_serializable([a, b], [1, 0])
+
+
+def test_edge_orientation_writer_to_reader():
+    """Pin the documented orientation end to end on the smallest case:
+    T0 writes k, T1 reads k. The edge is 0 -> 1 (writer -> reader), and a
+    serializable schedule commits the reader *before* the writer — the
+    docstring of :func:`build_conflict_graph` and the check in
+    :func:`schedule_is_serializable` agree on this."""
+    block = [rwset(writes=["k"]), rwset(reads=["k"])]
+    graph = build_conflict_graph(block)
+    assert list(graph.edges()) == [(0, 1)]
+    assert schedule_is_serializable(block, [1, 0])
+    assert not schedule_is_serializable(block, [0, 1])

@@ -197,3 +197,26 @@ def test_paper_table4_cycle_membership(table3):
                 membership[tx] += 1
     assert dict(membership) == {0: 2, 1: 1, 2: 1, 3: 2, 4: 1}
     assert membership[5] == 0
+
+
+def test_wall_clock_excluded_from_result_equality():
+    """The wall-clock channel: two runs of the same block measure
+    different ``elapsed_seconds`` but their results must compare equal —
+    the field is observability, not part of the deterministic outcome."""
+    block = [
+        rwset(reads=["a"], writes=["b"]),
+        rwset(reads=["b"], writes=["a"]),
+        rwset(reads=["c"], writes=["c2"]),
+    ]
+    first = reorder(block)
+    second = reorder(block)
+    assert first == second
+    # Both runs did measure a (non-negative, typically distinct) wall clock.
+    assert first.elapsed_seconds >= 0.0
+    assert second.elapsed_seconds >= 0.0
+
+
+def test_reorder_measures_wall_clock():
+    block = [rwset(reads=[f"r{i}"], writes=[f"w{i}"]) for i in range(50)]
+    result = reorder(block)
+    assert result.elapsed_seconds > 0.0

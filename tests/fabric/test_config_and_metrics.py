@@ -113,6 +113,49 @@ def test_latency_stats():
     assert LatencyStats.from_samples([]) is None
 
 
+def test_percentile_single_sample():
+    """n=1: every percentile is the sample itself."""
+    stats = LatencyStats.from_samples([0.7])
+    assert stats.p50 == stats.p95 == stats.p99 == 0.7
+
+
+def test_percentile_two_samples_nearest_rank():
+    """n=2 regression: the old round-the-index code computed
+    ``round(0.5 * 1) == 0`` (banker's rounding) and reported the *minimum*
+    as the median. Nearest-rank picks the first sample covering 50% of
+    the data — the lower sample — by definition, and p95/p99 the upper."""
+    stats = LatencyStats.from_samples([1.0, 3.0])
+    assert stats.p50 == 1.0
+    assert stats.p95 == 3.0
+    assert stats.p99 == 3.0
+
+
+def test_percentile_three_samples():
+    stats = LatencyStats.from_samples([3.0, 1.0, 2.0])
+    assert stats.p50 == 2.0
+    assert stats.p95 == 3.0
+    assert stats.p99 == 3.0
+
+
+def test_percentile_hundred_samples():
+    """n=100 regression: p50 must be the 50th ordered value (index 49),
+    not the 51st that the old ``round(0.50 * 99) == 50`` produced."""
+    samples = [float(value) for value in range(1, 101)]
+    stats = LatencyStats.from_samples(samples)
+    assert stats.p50 == 50.0
+    assert stats.p95 == 95.0
+    assert stats.p99 == 99.0
+
+
+def test_percentiles_are_monotone():
+    """p50 <= p95 <= p99 <= max must hold for any sample count."""
+    for n in range(1, 25):
+        samples = [float(value) for value in range(n)]
+        stats = LatencyStats.from_samples(samples)
+        assert stats.minimum <= stats.p50 <= stats.p95 <= stats.p99
+        assert stats.p99 <= stats.maximum
+
+
 def test_outcome_classification():
     assert TxOutcome.COMMITTED.is_success
     assert not TxOutcome.ABORT_MVCC.is_success

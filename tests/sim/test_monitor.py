@@ -100,3 +100,55 @@ def test_network_probes_record_activity():
     # Peer CPUs were busy at some point.
     busy_probes = [name for name in ("peer0.OrgA.cpu_busy",) if sampler.peak(name) > 0]
     assert busy_probes
+
+
+def test_raising_probe_is_skipped_and_recorded():
+    """A probe that raises (e.g. it reads a peer that a fault schedule
+    crashed) must not kill the sampler: the value is skipped for that
+    tick, the failure is counted, and every other probe keeps sampling."""
+    env = Environment()
+    sampler = Sampler(env, interval=0.5)
+    calls = {"good": 0}
+
+    def good():
+        calls["good"] += 1
+        return float(calls["good"])
+
+    def bad():
+        raise RuntimeError("probe target crashed")
+
+    sampler.watch("good", good)
+    sampler.watch("bad", bad)
+    sampler.start()
+    env.run(until=2.0)
+
+    assert len(sampler.samples) == 4
+    assert sampler.series("good") == [1.0, 2.0, 3.0, 4.0]
+    assert sampler.series("bad") == []  # skipped, never fabricated
+    assert sampler.probe_errors == {"bad": 4}
+    assert len(sampler.error_log) == 4
+    time, name, message = sampler.error_log[0]
+    assert time == 0.5 and name == "bad" and "probe target crashed" in message
+
+
+def test_error_log_is_bounded():
+    env = Environment()
+    sampler = Sampler(env, interval=0.01)
+    sampler.watch("bad", lambda: 1 / 0)
+    sampler.start()
+    env.run(until=2.0)
+    assert sampler.probe_errors["bad"] > 100
+    assert len(sampler.error_log) == 100
+
+
+def test_sampler_forwards_counters_to_tracer():
+    from repro.trace import Tracer
+
+    env = Environment()
+    tracer = Tracer()
+    sampler = Sampler(env, interval=0.5, tracer=tracer)
+    sampler.watch("queue", lambda: 7.0)
+    sampler.start()
+    env.run(until=1.6)
+    assert tracer.counters == [(0.5, "queue", 7.0), (1.0, "queue", 7.0),
+                               (1.5, "queue", 7.0)]

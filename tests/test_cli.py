@@ -353,3 +353,52 @@ def test_sweep_drop_rate_axis(tmp_path, capsys):
     output = capsys.readouterr().out
     assert exit_code == 0
     assert "drop-rate" in output
+
+
+def test_run_command_with_trace(tmp_path, capsys):
+    path = tmp_path / "trace.json"
+    exit_code = main(
+        ["run", "--workload", "smallbank", "--users", "200", "--clients", "1",
+         "--client-rate", "80", "--duration", "1", "--drain", "1",
+         "--block-size", "32", "--trace", str(path)]
+    )
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "wrote Chrome trace" in output
+    assert "cost attribution" in output
+    assert "crypto + network share" in output
+    from repro.trace import validate_chrome_trace_file
+
+    counts = validate_chrome_trace_file(path)
+    assert counts["X"] > 0 and counts["b"] == counts["e"]
+
+
+def test_profile_command_end_to_end(tmp_path, capsys):
+    path = tmp_path / "profile.json"
+    exit_code = main(
+        ["profile", "--workload", "smallbank", "--users", "200",
+         "--clients", "1", "--client-rate", "80", "--duration", "1",
+         "--drain", "1", "--block-size", "32", "--trace", str(path)]
+    )
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "Fabric cost attribution" in output
+    assert "Fabric++ cost attribution" in output
+    assert "profile summary" in output
+    assert "crypto_network_share" in output
+    from repro.trace import validate_chrome_trace_file
+
+    for suffix in ("fabric", "fabricpp"):
+        assert validate_chrome_trace_file(f"{path}.{suffix}")["X"] > 0
+
+
+def test_profile_command_without_trace_writes_no_files(tmp_path, capsys):
+    exit_code = main(
+        ["profile", "--workload", "blank", "--clients", "1",
+         "--client-rate", "50", "--duration", "1", "--drain", "1",
+         "--block-size", "32"]
+    )
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "profile summary" in output
+    assert "wrote" not in output
