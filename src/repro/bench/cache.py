@@ -37,7 +37,10 @@ from repro.bench.results import (
 from repro.bench.spec import ExperimentSpec
 
 #: Bump when the stored payload layout changes; invalidates old entries.
-CACHE_FORMAT = 1
+#: 2: metrics snapshots may carry a "validation" key (pipeline stats),
+#: and configs gained the validation_workers/scheduler/pipeline_depth
+#: knobs — which flow into the key via config_to_dict automatically.
+CACHE_FORMAT = 2
 
 #: Default cache directory, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"

@@ -97,6 +97,8 @@ def metrics_to_dict(metrics: PipelineMetrics) -> Dict[str, object]:
     }
     if metrics.cost_breakdown is not None:
         snapshot["cost_breakdown"] = metrics.cost_breakdown.to_dict()
+    if metrics.validation is not None:
+        snapshot["validation"] = metrics.validation.to_dict()
     return snapshot
 
 
@@ -121,6 +123,10 @@ def metrics_from_dict(data: Dict[str, object]) -> PipelineMetrics:
         from repro.trace.cost import CostBreakdown
 
         metrics.cost_breakdown = CostBreakdown.from_dict(data["cost_breakdown"])
+    if "validation" in data:
+        from repro.fabric.metrics import ValidationStats
+
+        metrics.validation = ValidationStats.from_dict(data["validation"])
     return metrics
 
 

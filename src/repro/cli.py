@@ -60,6 +60,9 @@ SWEEPABLE = {
     "records": ("records", int),
     "drop-rate": ("drop_rate", float),
     "jitter": ("jitter", float),
+    "validation-workers": ("validation_workers", int),
+    "validation-scheduler": ("validation_scheduler", str),
+    "pipeline-depth": ("pipeline_depth", int),
 }
 
 
@@ -196,6 +199,17 @@ def _add_system_arguments(sub: argparse.ArgumentParser, with_system: bool) -> No
     sub.add_argument("--max-resubmits", type=int, default=None, metavar="N",
                      help="cap on resubmissions per failed business intent; "
                           "negative = retry forever (default 16)")
+    sub.add_argument("--validation-workers", type=int, default=1, metavar="N",
+                     help="modelled signature-verification lanes per peer "
+                          "(default 1 = legacy inline serial validator)")
+    sub.add_argument("--validation-scheduler",
+                     choices=("serial", "dependency"), default="serial",
+                     help="MVCC commit scheduler: serial (default) or "
+                          "dependency-aware parallel waves")
+    sub.add_argument("--pipeline-depth", type=int, default=1, metavar="K",
+                     help="blocks in flight per channel: K>1 overlaps "
+                          "verification of block n+1 with the commit of "
+                          "block n (default 1)")
 
 
 def _add_fault_arguments(sub: argparse.ArgumentParser) -> None:
@@ -330,6 +344,9 @@ def config_from_args(args: argparse.Namespace) -> FabricConfig:
         seed=args.seed,
         endorsement_policy=getattr(args, "policy", None),
         faults=faults_from_args(args),
+        validation_workers=getattr(args, "validation_workers", 1),
+        validation_scheduler=getattr(args, "validation_scheduler", "serial"),
+        pipeline_depth=getattr(args, "pipeline_depth", 1),
     )
     max_resubmits = getattr(args, "max_resubmits", None)
     if max_resubmits is not None:

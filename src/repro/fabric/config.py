@@ -136,6 +136,23 @@ class FabricConfig:
     #: leaves the healthy pipeline bit-identical to a fault-free build.
     faults: FaultSchedule = field(default_factory=FaultSchedule)
 
+    #: Validation pipeline (``repro.validation``). The defaults select the
+    #: legacy inline serial validator, which is bit-identical to the
+    #: pre-pipeline build; any non-default value switches the peer to the
+    #: modelled pipeline, where worker lanes, the MVCC scheduler, and
+    #: cross-block overlap change *timing only* — committed ledgers and
+    #: per-transaction outcomes are invariant (the oracle tests prove it).
+    #: Number of parallel signature-verification lanes per peer.
+    validation_workers: int = 1
+    #: MVCC commit scheduler: "serial" checks transactions one after the
+    #: other in block order; "dependency" validates independent
+    #: transactions in parallel waves along the intra-block dependency
+    #: graph, serialising only along conflict chains.
+    validation_scheduler: str = "serial"
+    #: Blocks allowed in flight per channel: 1 = verify and commit strictly
+    #: alternate; k allows verifying block n+k-1 while block n commits.
+    pipeline_depth: int = 1
+
     #: Cap on Johnson cycle enumeration per block. Dense conflict graphs
     #: contain exponentially many elementary cycles; past roughly a
     #: thousand counted cycles the greedy abort choice no longer changes,
@@ -145,6 +162,19 @@ class FabricConfig:
     max_cycles_per_block: int = 1000
 
     seed: int = 42
+
+    @property
+    def uses_validation_pipeline(self) -> bool:
+        """True when any validation knob leaves its legacy default.
+
+        The peer then runs the modelled ``repro.validation`` pipeline
+        instead of the inline serial validator.
+        """
+        return (
+            self.validation_workers != 1
+            or self.validation_scheduler != "serial"
+            or self.pipeline_depth != 1
+        )
 
     @property
     def is_fabric_plus_plus(self) -> bool:
@@ -174,6 +204,15 @@ class FabricConfig:
             raise ConfigError("client_window must be >= 1")
         if self.max_resubmits is not None and self.max_resubmits < 0:
             raise ConfigError("max_resubmits must be >= 0 (or None for no cap)")
+        if self.validation_workers < 1:
+            raise ConfigError("validation_workers must be >= 1")
+        if self.validation_scheduler not in ("serial", "dependency"):
+            raise ConfigError(
+                "validation_scheduler must be 'serial' or 'dependency', "
+                f"got {self.validation_scheduler!r}"
+            )
+        if self.pipeline_depth < 1:
+            raise ConfigError("pipeline_depth must be >= 1")
         self.faults.validate()
 
     def with_fabric_plus_plus(self) -> "FabricConfig":

@@ -93,6 +93,110 @@ class LatencyStats:
 
 
 @dataclass
+class ValidationStats:
+    """Validation-pipeline counters collected at the reference peer.
+
+    Only attached when the run uses the modelled pipeline
+    (``repro.validation``); default (legacy serial) runs leave
+    :attr:`PipelineMetrics.validation` as ``None`` so their metric
+    snapshots stay byte-identical to pre-pipeline builds.
+    """
+
+    #: Configuration the stats were collected under.
+    workers: int
+    scheduler: str
+    pipeline_depth: int
+    #: Blocks / transactions committed through the pipeline.
+    blocks: int = 0
+    txs: int = 0
+    #: Sum over blocks of the number of sequential MVCC waves — the
+    #: block's critical-path length. For the serial scheduler this equals
+    #: ``txs``; the dependency scheduler's gap between the two is exactly
+    #: the parallelism it extracted.
+    critical_path_total: int = 0
+    #: Verification tasks executed on the worker lanes.
+    verify_tasks: int = 0
+    #: Total seconds tasks waited between submission and execution.
+    queue_delay_total: float = 0.0
+    #: Per-lane busy seconds (the utilisation numerator).
+    lane_busy: List[float] = field(default_factory=list)
+    #: Simulated time of the last pipeline commit. Lane busy time keeps
+    #: accumulating through the drain window, past the measurement
+    #: duration — utilisation divides by whichever horizon is longer.
+    horizon: float = 0.0
+
+    def avg_critical_path(self) -> float:
+        """Mean sequential MVCC waves per committed block."""
+        return self.critical_path_total / self.blocks if self.blocks else 0.0
+
+    def parallelism_factor(self) -> float:
+        """Transactions per sequential wave (1.0 = fully serial)."""
+        if not self.critical_path_total:
+            return 0.0
+        return self.txs / self.critical_path_total
+
+    def avg_queue_delay(self) -> float:
+        """Mean seconds a verify task waited for a lane + core."""
+        return (
+            self.queue_delay_total / self.verify_tasks
+            if self.verify_tasks
+            else 0.0
+        )
+
+    def worker_utilisation(self, duration: float) -> float:
+        """Mean busy fraction of the worker lanes over ``duration``."""
+        horizon = max(duration, self.horizon)
+        if horizon <= 0 or not self.lane_busy:
+            return 0.0
+        return sum(self.lane_busy) / (len(self.lane_busy) * horizon)
+
+    def summary(self, duration: float) -> Dict[str, object]:
+        """Flat dict of the headline pipeline numbers."""
+        return {
+            "workers": self.workers,
+            "scheduler": self.scheduler,
+            "pipeline_depth": self.pipeline_depth,
+            "blocks": self.blocks,
+            "txs": self.txs,
+            "avg_critical_path": round(self.avg_critical_path(), 2),
+            "parallelism_factor": round(self.parallelism_factor(), 2),
+            "avg_queue_delay": round(self.avg_queue_delay(), 6),
+            "worker_utilisation": round(self.worker_utilisation(duration), 4),
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form for JSON round-tripping."""
+        return {
+            "workers": self.workers,
+            "scheduler": self.scheduler,
+            "pipeline_depth": self.pipeline_depth,
+            "blocks": self.blocks,
+            "txs": self.txs,
+            "critical_path_total": self.critical_path_total,
+            "verify_tasks": self.verify_tasks,
+            "queue_delay_total": self.queue_delay_total,
+            "lane_busy": list(self.lane_busy),
+            "horizon": self.horizon,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ValidationStats":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            workers=data["workers"],
+            scheduler=data["scheduler"],
+            pipeline_depth=data["pipeline_depth"],
+            blocks=data["blocks"],
+            txs=data["txs"],
+            critical_path_total=data["critical_path_total"],
+            verify_tasks=data["verify_tasks"],
+            queue_delay_total=data["queue_delay_total"],
+            lane_busy=list(data["lane_busy"]),
+            horizon=data.get("horizon", 0.0),
+        )
+
+
+@dataclass
 class PipelineMetrics:
     """Counters and latency samples for one simulated run."""
 
@@ -127,6 +231,11 @@ class PipelineMetrics:
     #: runs; None (and absent from summaries) otherwise, so untraced
     #: result rows are byte-identical to pre-trace builds.
     cost_breakdown: Optional[CostBreakdown] = None
+    #: Validation-pipeline stats. Set only when the run used the modelled
+    #: ``repro.validation`` pipeline; None (and absent from summaries)
+    #: on legacy serial runs — the same conditional-key discipline as
+    #: ``cost_breakdown``.
+    validation: Optional[ValidationStats] = None
 
     def record_fired(self) -> None:
         """Count one fired proposal."""
@@ -329,4 +438,6 @@ class PipelineMetrics:
             # travels via results.metrics_to_dict instead.
             share = self.cost_breakdown.crypto_network_share()
             summary["crypto_network_share"] = round(share, 4)
+        if self.validation is not None:
+            summary["validation"] = self.validation.summary(self.duration)
         return summary

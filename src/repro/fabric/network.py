@@ -23,7 +23,7 @@ from repro.fabric.peer import Peer
 from repro.fabric.policy import AllOrgs, EndorsementPolicy, parse_policy_spec
 from repro.faults import FaultInjector
 from repro.ledger.block import Block
-from repro.sim.distributions import Rng
+from repro.sim.distributions import Rng, mix_seed
 from repro.sim.engine import Environment
 from repro.sim.resources import Resource
 from repro.trace.tracer import Tracer
@@ -156,7 +156,7 @@ class FabricNetwork:
                 f"client{client_index}.{channel}", "ClientOrg"
             )
             rng = Rng(
-                hash((self.config.seed, channel_index, client_index)) & 0x7FFFFFFF
+                mix_seed(self.config.seed, channel_index, client_index)
             )
             fault_rng = (
                 self.faults.backoff_rng(channel_index, client_index)

@@ -34,6 +34,8 @@ from repro.ledger.state_db import StateDatabase, Version
 from repro.sim.engine import Environment, Process
 from repro.sim.resources import Resource, RWLock, Store
 from repro.trace.tracer import ASYNC, Tracer
+from repro.validation import build_validator
+from repro.validation.workers import VerifyWorkerPool
 
 #: CPU scheduling bands within a peer: validation preempts endorsement.
 VALIDATE_PRIORITY = 0
@@ -137,7 +139,10 @@ class Peer:
             state.state.populate(initial_state)
         self.channels[channel] = state
         self._policies[channel] = policy
-        self.env.process(self._validator(channel), name=f"{self.name}/{channel}/validator")
+        self.env.process(
+            build_validator(self, channel),
+            name=f"{self.name}/{channel}/validator",
+        )
 
     def attach_reference_hooks(
         self,
@@ -258,130 +263,31 @@ class Peer:
         return EndorseReply(endorsement)
 
     # -- validation + commit phase ----------------------------------------------
+    #
+    # The validator loop itself lives in ``repro.validation``:
+    # ``serial_validator`` (the legacy inline loop, default) or
+    # ``PipelinedValidator`` (worker lanes / dependency waves / cross-block
+    # overlap) — ``join_channel`` picks via ``build_validator``. The
+    # check helpers below are shared by both.
 
-    def _validator(self, channel: str) -> Generator:
-        """Sequential per-channel validation pipeline (one block at a time)."""
-        pcs = self.channels[channel]
-        costs = self.config.costs
-        vanilla = not self.config.early_abort_simulation
-        # Delivery may arrive out of order (gossip races); validation must
-        # follow block-id order, so early arrivals wait in a reorder
-        # buffer. The next expected id is derived from the ledger tip so
-        # that recovery catch-up (which appends replayed blocks directly)
-        # transparently advances this loop past the blocks it missed.
-        while True:
-            while True:
-                expected = pcs.ledger.tip_block_id + 1
-                for stale_id in [
-                    block_id
-                    for block_id in pcs.pending_blocks
-                    if block_id < expected
-                ]:
-                    del pcs.pending_blocks[stale_id]  # applied via catch-up
-                if expected in pcs.pending_blocks:
-                    break
-                block = yield pcs.incoming_blocks.get()
-                if block.block_id >= pcs.ledger.tip_block_id + 1:
-                    pcs.pending_blocks[block.block_id] = block
-            block = pcs.pending_blocks.pop(expected)
-            pcs.validating = True
-            tracer = self.tracer
-            block_start = self.env.now
-            committed_in_block = 0
-            if vanilla:
-                # Vanilla serialises validation against simulation: the
-                # whole block validation runs under the exclusive write
-                # lock, so every in-flight simulation on this peer stalls
-                # until the block committed (Section 4.2.1). Fabric++'s
-                # fine-grained concurrency control removes this lock and
-                # lets both phases overlap (Section 5.2.1).
-                yield pcs.lock.acquire_write()
-            try:
-                yield from self.cpu.use(costs.block_overhead * self.speed_factor)
-                if tracer is not None:
-                    tracer.charge(
-                        "ledger", costs.block_overhead * self.speed_factor
-                    )
+    def verify_pool(self) -> VerifyWorkerPool:
+        """The peer's verification worker pool (created on first use).
 
-                pending_writes: Dict[str, Version] = {}
-                valid_writes: List[Tuple[int, Dict[str, object]]] = []
-                for index, tx in enumerate(block.transactions):
-                    tx_start = self.env.now
-                    yield from self.cpu.use(
-                        costs.tx_validation_cost(len(tx.endorsements))
-                        * self.speed_factor
-                    )
-                    outcome = self._validate_transaction(
-                        channel, tx, pending_writes
-                    )
-                    valid = outcome is TxOutcome.COMMITTED
-                    block.mark(tx.tx_id, valid)
-                    if tracer is not None:
-                        verify_cost = (
-                            costs.verify_signature
-                            * len(tx.endorsements)
-                            / costs.validation_parallelism
-                        ) * self.speed_factor
-                        tracer.charge(
-                            "verify", verify_cost, count=len(tx.endorsements)
-                        )
-                        tracer.charge(
-                            "logic", costs.mvcc_check * self.speed_factor
-                        )
-                        tracer.span(
-                            "tx.validate",
-                            cat="validate",
-                            track=f"{self.name}/{channel}/validator",
-                            start=tx_start,
-                            tx_id=tx.tx_id,
-                            outcome=outcome.value,
-                        )
-                        committed_in_block += 1 if valid else 0
-                    if valid:
-                        version = Version(block.block_id, index)
-                        if vanilla:
-                            for key in tx.rwset.writes:
-                                pending_writes[key] = version
-                            valid_writes.append((index, tx.rwset.writes))
-                        else:
-                            # Fabric++'s fine-grained concurrency control:
-                            # each valid transaction's writes apply
-                            # atomically right away, visible to chaincodes
-                            # simulating in parallel (Section 5.2.1's
-                            # "apply their updates in an atomic fashion
-                            # while T5 is simulating").
-                            for key, value in tx.rwset.writes.items():
-                                pcs.state.apply_write(key, value, version)
-                    else:
-                        tx.failure_reason = outcome.value
-                    if self.is_reference:
-                        self._report(tx, outcome)
-
-                # Commit: vanilla applies all valid writes at once under
-                # the write lock; Fabric++ already applied them inline and
-                # only finalises the block height.
-                if vanilla:
-                    pcs.state.apply_block_writes(block.block_id, valid_writes)
-                else:
-                    pcs.state.advance_block(block.block_id)
-                pcs.ledger.append(block)
-                if tracer is not None:
-                    tracer.span(
-                        "block.validate",
-                        cat="validate",
-                        track=f"{self.name}/{channel}/validator",
-                        start=block_start,
-                        block_id=block.block_id,
-                        txs=len(block.transactions),
-                        committed=committed_in_block,
-                    )
-            finally:
-                pcs.validating = False
-                if vanilla:
-                    pcs.lock.release_write()
-
-            if self.is_reference and self._metrics is not None:
-                self._metrics.record_block(len(block.transactions))
+        Shared across the peer's channels, like the validator worker
+        pool of a real peer process. Only the modelled pipeline uses it;
+        the legacy serial validator folds verification into its
+        per-transaction CPU charge.
+        """
+        if getattr(self, "_verify_pool", None) is None:
+            self._verify_pool = VerifyWorkerPool(
+                self.env,
+                self.cpu,
+                self.config.validation_workers,
+                priority=VALIDATE_PRIORITY,
+                owner=self.name,
+                tracer=self.tracer,
+            )
+        return self._verify_pool
 
     def _validate_transaction(
         self,

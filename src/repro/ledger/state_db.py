@@ -16,8 +16,9 @@ block application and snapshot semantics follow the paper exactly.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 from repro.errors import StateError
 
@@ -64,6 +65,12 @@ class StateDatabase:
     def __init__(self) -> None:
         self._data: Dict[str, VersionedValue] = {}
         self._last_block_id = 0
+        #: Keys in sorted order, maintained incrementally on write (keys
+        #: are never deleted — Fabric models deletes as tombstone values).
+        #: Range scans bisect into this index instead of re-sorting the
+        #: whole key space per scan, which made every phantom check
+        #: O(n log n) in the store size.
+        self._sorted_keys: List[str] = []
 
     # -- reads -------------------------------------------------------------
 
@@ -110,11 +117,13 @@ class StateDatabase:
         ``GetStateByRange``; tombstoned keys are skipped by the chaincode
         stub, not here.
         """
-        for key in sorted(self._data):
-            if key < start_key:
-                continue
-            if end_key is not None and key >= end_key:
-                break
+        low = bisect.bisect_left(self._sorted_keys, start_key)
+        high = (
+            bisect.bisect_left(self._sorted_keys, end_key)
+            if end_key is not None
+            else len(self._sorted_keys)
+        )
+        for key in self._sorted_keys[low:high]:
             yield key, self._data[key]
 
     # -- writes ------------------------------------------------------------
@@ -128,10 +137,14 @@ class StateDatabase:
         if self._last_block_id != 0:
             raise StateError("populate() is only allowed before the first block")
         for key, value in initial.items():
+            if key not in self._data:
+                bisect.insort(self._sorted_keys, key)
             self._data[key] = VersionedValue(value, GENESIS_VERSION)
 
     def apply_write(self, key: str, value: object, version: Version) -> None:
         """Apply a single validated write, stamping it with ``version``."""
+        if key not in self._data:
+            bisect.insort(self._sorted_keys, key)
         self._data[key] = VersionedValue(value, version)
 
     def apply_block_writes(
@@ -153,6 +166,8 @@ class StateDatabase:
             )
         for tx_id, write_set in writes:
             for key, value in write_set.items():
+                if key not in self._data:
+                    bisect.insort(self._sorted_keys, key)
                 self._data[key] = VersionedValue(value, Version(block_id, tx_id))
         self._last_block_id = block_id
 

@@ -14,6 +14,49 @@ import itertools
 import random
 from typing import List, Optional, Sequence
 
+#: Constants of the frozen seed-mixing function below (xxHash primes).
+_MASK64 = (1 << 64) - 1
+_XXPRIME_1 = 11400714785074694791
+_XXPRIME_2 = 14029467366897019727
+_XXPRIME_5 = 2870177450012600261
+#: Mersenne prime 2**61 - 1 used to fold each part onto the hash field.
+_HASH_MODULUS = (1 << 61) - 1
+
+
+def mix_seed(*parts: int) -> int:
+    """Mix integer parts into one 31-bit stream seed, deterministically.
+
+    Client RNG streams used to be derived with ``hash((seed, channel,
+    client))``: stable for pure-integer tuples, but one string slipping
+    into that tuple would have silently made every run depend on
+    ``PYTHONHASHSEED``. This function replaces it with an explicit mix
+    that (a) accepts only integers — anything else raises ``TypeError``
+    instead of degrading determinism — and (b) is a frozen re-statement
+    of CPython's integer-tuple hashing (the xxHash-based combiner of
+    3.8+), so the streams every golden hash was captured under are
+    preserved bit-for-bit. The algorithm is pinned *here*, in this
+    repository, and must never be re-synced against the interpreter:
+    golden tests pin its outputs directly.
+    """
+    acc = _XXPRIME_5
+    for part in parts:
+        if isinstance(part, bool) or not isinstance(part, int):
+            raise TypeError(
+                f"mix_seed() parts must be plain ints, got {part!r}"
+            )
+        # CPython's long_hash: reduce modulo 2**61-1, keep the sign,
+        # then map -1 to -2; the combiner consumes the 64-bit pattern.
+        lane = part % _HASH_MODULUS if part >= 0 else -((-part) % _HASH_MODULUS)
+        if lane == -1:
+            lane = -2
+        acc = (acc + (lane & _MASK64) * _XXPRIME_2) & _MASK64
+        acc = ((acc << 31) | (acc >> 33)) & _MASK64
+        acc = (acc * _XXPRIME_1) & _MASK64
+    acc = (acc + (len(parts) ^ (_XXPRIME_5 ^ 3527539))) & _MASK64
+    if acc == _MASK64:
+        acc = 1546275796
+    return acc & 0x7FFFFFFF
+
 
 class Rng:
     """A seeded random source shared by a workload generator.

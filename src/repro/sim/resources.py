@@ -38,6 +38,11 @@ class Resource:
         self._in_use = 0
         self._waiters: List[tuple] = []
         self._sequence = 0
+        # Busy-time integral (slot-seconds of ∫ in_use dt), pure
+        # bookkeeping for utilisation reports: accumulated lazily at every
+        # occupancy change, so it never schedules or reorders events.
+        self._busy_integral = 0.0
+        self._busy_marked_at = env.now
 
     @property
     def in_use(self) -> int:
@@ -49,6 +54,22 @@ class Resource:
         """Number of requests waiting for a slot."""
         return len(self._waiters)
 
+    def busy_time(self) -> float:
+        """Slot-seconds of granted occupancy so far (∫ in_use dt).
+
+        Divide by elapsed time (and capacity) for utilisation; the
+        integral is exact at the current simulated instant.
+        """
+        return self._busy_integral + self._in_use * (
+            self.env.now - self._busy_marked_at
+        )
+
+    def _mark_occupancy(self) -> None:
+        """Fold occupancy since the last change into the busy integral."""
+        now = self.env.now
+        self._busy_integral += self._in_use * (now - self._busy_marked_at)
+        self._busy_marked_at = now
+
     def request(self, priority: int = 0) -> Event:
         """Return an event that fires when a slot is granted.
 
@@ -57,6 +78,7 @@ class Resource:
         """
         grant = self.env.event()
         if self._in_use < self.capacity:
+            self._mark_occupancy()
             self._in_use += 1
             grant.succeed()
         else:
@@ -74,6 +96,7 @@ class Resource:
             _, _, grant = heapq.heappop(self._waiters)
             grant.succeed()
         else:
+            self._mark_occupancy()
             self._in_use -= 1
 
     def use(self, duration: float, priority: int = 0) -> Generator:

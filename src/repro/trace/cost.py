@@ -17,7 +17,11 @@ Resources:
 - ``network`` — message hops (proposal, endorsement, transaction
   submission) and block distribution including gossip hops.
 - ``logic`` — transaction logic: chaincode state operations during
-  simulation and the MVCC conflict check during validation.
+  simulation and (legacy serial validator) the MVCC conflict check
+  during validation.
+- ``mvcc`` — the MVCC conflict check when the modelled validation
+  pipeline runs it as its own stage (``repro.validation``); the legacy
+  serial validator folds this into ``logic``.
 - ``ordering`` — orderer CPU: per-transaction envelope handling, block
   cutting/consensus, and Fabric++'s reordering computation.
 - ``ledger`` — per-block ledger append / state flush overhead.
@@ -31,7 +35,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 #: Canonical resource names, in report order.
-RESOURCES = ("sign", "verify", "network", "logic", "ordering", "ledger")
+RESOURCES = ("sign", "verify", "network", "logic", "mvcc", "ordering", "ledger")
 
 
 @dataclass

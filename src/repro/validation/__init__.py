@@ -1,0 +1,45 @@
+"""``repro.validation`` — the peer's pluggable validation/commit pipeline.
+
+The peer historically validated blocks in a single inline serial loop.
+This package makes that stage pluggable:
+
+- :func:`repro.validation.serial.serial_validator` is that loop, moved
+  verbatim — the default, bit-identical to the pre-pipeline build;
+- :class:`repro.validation.pipeline.PipelinedValidator` is the modelled
+  pipeline: a verify worker pool, an optional dependency-aware MVCC
+  scheduler, and cross-block verify/commit overlap — selected whenever
+  any of ``validation_workers``, ``validation_scheduler``, or
+  ``pipeline_depth`` leaves its default.
+
+Whatever the configuration, committed ledgers and per-transaction
+outcomes are identical; only simulated timing changes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from repro.validation.pipeline import PipelinedValidator
+from repro.validation.serial import serial_validator
+from repro.validation.workers import VerifyWorkerPool
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.fabric.peer import Peer
+
+__all__ = [
+    "PipelinedValidator",
+    "VerifyWorkerPool",
+    "build_validator",
+    "serial_validator",
+]
+
+
+def build_validator(peer: "Peer", channel: str) -> Generator:
+    """Return the validator generator for ``peer`` on ``channel``.
+
+    Dispatches on the configuration: the legacy serial loop for the
+    default knobs, the modelled pipeline otherwise.
+    """
+    if peer.config.uses_validation_pipeline:
+        return PipelinedValidator(peer, channel).run()
+    return serial_validator(peer, channel)

@@ -1,0 +1,123 @@
+"""Dependency-graph construction and wave scheduling for validation."""
+
+from __future__ import annotations
+
+from repro.core.conflict_graph import (
+    build_validation_dependencies,
+    dependency_waves,
+)
+from repro.fabric.rwset import RangeRead, ReadWriteSet
+from repro.ledger.state_db import GENESIS_VERSION, Version
+
+
+def rw(reads=(), writes=(), ranges=()):
+    rwset = ReadWriteSet()
+    for key in reads:
+        rwset.record_read(key, GENESIS_VERSION)
+    for key in writes:
+        rwset.record_write(key, 1)
+    for start, end, results in ranges:
+        rwset.record_range_read(RangeRead(start, end, tuple(results)))
+    return rwset
+
+
+def test_disjoint_transactions_form_one_wave():
+    graph = build_validation_dependencies(
+        [rw(reads=["a"], writes=["b"]), rw(reads=["c"], writes=["d"])]
+    )
+    assert graph.num_edges() == 0
+    assert dependency_waves(graph) == [[0, 1]]
+
+
+def test_write_read_true_dependency():
+    graph = build_validation_dependencies(
+        [rw(writes=["k"]), rw(reads=["k"])]
+    )
+    assert graph.has_edge(0, 1)
+    assert dependency_waves(graph) == [[0], [1]]
+
+
+def test_read_write_anti_dependency():
+    # T0 reads k, T1 writes k: T0's check must not see T1's write, so T1
+    # waits — without this edge a same-wave T1 applying inline (Fabric++)
+    # would corrupt T0's version check.
+    graph = build_validation_dependencies(
+        [rw(reads=["k"]), rw(writes=["k"])]
+    )
+    assert graph.has_edge(0, 1)
+
+
+def test_write_write_output_dependency():
+    graph = build_validation_dependencies(
+        [rw(writes=["k"]), rw(writes=["k"])]
+    )
+    assert graph.has_edge(0, 1)
+
+
+def test_write_into_scanned_range_is_phantom_hazard():
+    # T1 scans [a, m) and observed nothing; T0 writes "c" — inside the
+    # bounds but absent from the results, so key-intersection alone
+    # would miss it.
+    scanner = rw(ranges=[("a", "m", [])])
+    writer = rw(writes=["c"])
+    graph = build_validation_dependencies([writer, scanner])
+    assert graph.has_edge(0, 1)
+    # And the reverse order: the scan must not see the later write.
+    graph = build_validation_dependencies([scanner, writer])
+    assert graph.has_edge(0, 1)
+
+
+def test_write_outside_range_is_independent():
+    scanner = rw(ranges=[("a", "m", [("b", Version(1, 0))])])
+    writer = rw(writes=["z"])
+    graph = build_validation_dependencies([writer, scanner])
+    assert graph.num_edges() == 0
+
+
+def test_open_ended_range_covers_everything_above():
+    scanner = rw(ranges=[("q", None, [])])
+    graph = build_validation_dependencies([rw(writes=["z"]), scanner])
+    assert graph.has_edge(0, 1)
+    graph = build_validation_dependencies([rw(writes=["a"]), scanner])
+    assert graph.num_edges() == 0
+
+
+def test_edges_only_ascend_block_order():
+    rwsets = [
+        rw(reads=["a"], writes=["b"]),
+        rw(reads=["b"], writes=["c"]),
+        rw(reads=["c"], writes=["a"]),
+    ]
+    graph = build_validation_dependencies(rwsets)
+    for source, target in graph.edges():
+        assert source < target
+
+
+def test_chain_produces_one_wave_per_link():
+    rwsets = [rw(writes=["a"]), rw(reads=["a"], writes=["b"]), rw(reads=["b"])]
+    waves = dependency_waves(build_validation_dependencies(rwsets))
+    assert waves == [[0], [1], [2]]
+
+
+def test_waves_mix_independent_and_dependent():
+    rwsets = [
+        rw(writes=["a"]),        # wave 0
+        rw(writes=["x"]),        # wave 0 (independent)
+        rw(reads=["a"]),         # wave 1 (after 0)
+        rw(reads=["x", "a"]),    # wave 1 (after 0 and 1)
+    ]
+    waves = dependency_waves(build_validation_dependencies(rwsets))
+    assert waves == [[0, 1], [2, 3]]
+    # Critical path = 2 sequential steps for 4 transactions.
+    assert len(waves) == 2
+
+
+def test_waves_keep_ascending_order_within_wave():
+    rwsets = [rw(writes=[f"k{i}"]) for i in range(5)]
+    waves = dependency_waves(build_validation_dependencies(rwsets))
+    assert waves == [[0, 1, 2, 3, 4]]
+
+
+def test_empty_block():
+    graph = build_validation_dependencies([])
+    assert dependency_waves(graph) == []
