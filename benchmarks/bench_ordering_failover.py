@@ -1,0 +1,189 @@
+"""Ordering-service failover — committed TPS across ordering outages.
+
+With ``orderer_nodes=3`` the ordering service is a Raft-style replicated
+cluster. Two scenarios run for both vanilla Fabric and Fabric++:
+
+``leader-kill``
+    Crash whichever node currently leads at ``KILL_AT``; the remaining
+    majority elects a successor within one election timeout. The
+    headline: recovery is bounded by the election timeout plus a
+    heartbeat interval, and committed throughput barely dips — the
+    whole point of replicating the orderer.
+
+``quorum-loss``
+    Crash the leader *and* one follower, leaving a single node — no
+    quorum, so ordering stalls for the full outage. Committed TPS
+    visibly drops once the in-flight blocks drain and comes back after
+    the crashed nodes recover.
+
+Both scenarios must stay exactly-once: no transaction id ever occupies
+two ledger slots, no matter how the leadership moved.
+
+Set ``REPRO_BENCH_ARTIFACT=/path/to.json`` to dump the timeline and
+recovery figures as a JSON artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import replace
+
+from _bench_utils import paper_config
+
+from repro.fabric.network import FabricNetwork
+from repro.workloads.registry import make_workload
+
+DURATION = 4.0
+DRAIN = 3.0
+KILL_AT = 1.5
+OUTAGE = 1.0
+BUCKET = 0.25
+
+
+def failover_config(fabric_plus_plus: bool):
+    config = replace(
+        paper_config(block_size=64, clients_per_channel=2, client_rate=120.0),
+        seed=9,
+        orderer_nodes=3,
+    )
+    return config.with_fabric_plus_plus() if fabric_plus_plus else config
+
+
+def run_failover(fabric_plus_plus: bool, kill_quorum: bool):
+    config = failover_config(fabric_plus_plus)
+    workload = make_workload("smallbank", seed=9, num_users=500, s_value=1.0)
+    network = FabricNetwork(config, workload)
+    cluster = network.orderer_cluster
+    record = {}
+
+    def killer():
+        yield network.env.timeout(KILL_AT)
+        # Kill whichever node leads right now — a function of simulation
+        # state, so the whole scenario stays deterministic.
+        leader = cluster.leadership_log[-1][2]
+        victims = [leader]
+        if kill_quorum:
+            victims.append((leader + 1) % config.orderer_nodes)
+        record["killed"] = victims
+        record["kill_time"] = network.env.now
+        for victim in victims:
+            network.crash_orderer(victim)
+        yield network.env.timeout(OUTAGE)
+        for victim in victims:
+            network.recover_orderer(victim)
+
+    network.env.process(killer(), name="bench/leader-kill")
+    metrics = network.run(DURATION, drain=DRAIN)
+
+    # Recovery: first leadership takeover by a surviving node after the
+    # kill. Under quorum loss no takeover can happen before the outage
+    # ends, so the clock effectively measures the post-heal election.
+    takeover_time = next(
+        time
+        for time, _channel, node, _term in cluster.leadership_log
+        if time > record["kill_time"] and node not in record["killed"]
+    )
+    recovery = takeover_time - record["kill_time"]
+
+    series = metrics.throughput_timeseries(BUCKET)
+
+    def window_tps(lo: float, hi: float) -> float:
+        buckets = [e["successful_tps"] for e in series if lo < e["t"] <= hi]
+        return sum(buckets) / len(buckets) if buckets else 0.0
+
+    # Exactly-once check over the reference ledger.
+    seen = set()
+    duplicates = 0
+    for channel in network.channels:
+        for block in network.reference_peer.channels[channel].ledger:
+            for tx in list(block.transactions) + list(block.early_aborted):
+                if tx.tx_id in seen:
+                    duplicates += 1
+                seen.add(tx.tx_id)
+
+    return {
+        "system": "Fabric++" if fabric_plus_plus else "Fabric",
+        "scenario": "quorum-loss" if kill_quorum else "leader-kill",
+        "killed_nodes": record["killed"],
+        "kill_time": round(record["kill_time"], 3),
+        "recovery_seconds": round(recovery, 4),
+        "tps_before": round(window_tps(0.5, KILL_AT), 2),
+        # The late half of the outage: in-flight blocks have drained, so
+        # this window shows whether ordering is actually stalled.
+        "tps_during": round(window_tps(KILL_AT + 0.5, KILL_AT + OUTAGE), 2),
+        "tps_after": round(window_tps(KILL_AT + OUTAGE + 0.5, DURATION), 2),
+        "committed": metrics.successful,
+        "blocks": metrics.blocks_committed,
+        "leader_changes": metrics.consensus.leader_changes,
+        "txs_reproposed": metrics.consensus.txs_reproposed,
+        "duplicate_tx_ids": duplicates,
+        "timeline": series,
+        "recovery_bound": (
+            config.consensus.election_timeout_max
+            + config.consensus.heartbeat_interval
+        ),
+    }
+
+
+def run_all():
+    return [
+        run_failover(fabric_plus_plus, kill_quorum)
+        for fabric_plus_plus in (False, True)
+        for kill_quorum in (False, True)
+    ]
+
+
+def write_artifact(rows):
+    path = os.environ.get("REPRO_BENCH_ARTIFACT", "")
+    if not path:
+        return
+    payload = {
+        "benchmark": "ordering_failover",
+        "duration": DURATION,
+        "kill_at": KILL_AT,
+        "outage": OUTAGE,
+        "rows": rows,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+
+def test_ordering_failover(benchmark):
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    write_artifact(rows)
+    print()
+    for row in rows:
+        print(
+            "  {system:8s} {scenario:11s} killed={killed_nodes} "
+            "recovery={recovery_seconds:.3f}s "
+            "tps before/during/after = "
+            "{tps_before:6.1f} / {tps_during:6.1f} / {tps_after:6.1f}".format(
+                **row
+            )
+        )
+
+    for row in rows:
+        # Failover never loses or double-commits a transaction.
+        assert row["duplicate_tx_ids"] == 0, row
+        assert row["committed"] > 0, row
+        assert row["tps_before"] > 0.0, row
+
+    for row in rows:
+        if row["scenario"] == "leader-kill":
+            # A majority survives: takeover within one election timeout
+            # plus a heartbeat (plus a millisecond message allowance) —
+            # so fast the committed-TPS timeline barely registers it.
+            assert (
+                0.0 < row["recovery_seconds"] <= row["recovery_bound"] + 0.05
+            ), row
+            assert row["tps_during"] >= 0.5 * row["tps_before"], row
+        else:
+            # One node is no quorum: once in-flight blocks drain the
+            # commit stream stops, then recovers after the heal.
+            assert row["tps_during"] < 0.5 * row["tps_before"], row
+            assert (
+                row["recovery_seconds"]
+                <= OUTAGE + row["recovery_bound"] + 0.05
+            ), row
+        assert row["tps_after"] > 0.5 * row["tps_before"], row

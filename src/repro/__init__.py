@@ -20,10 +20,16 @@ Quickstart::
     print(metrics.summary())
 """
 
+from repro.chaos import ChaosReport, generate_chaos_schedule, run_chaos
 from repro.core.reorder import ReorderResult, reorder
 from repro.core.early_abort import filter_stale_within_block
 from repro.fabric.chaincode import Chaincode, ChaincodeStub
-from repro.fabric.config import BatchCutConfig, CostModel, FabricConfig
+from repro.fabric.config import (
+    BatchCutConfig,
+    ConsensusConfig,
+    CostModel,
+    FabricConfig,
+)
 from repro.fabric.metrics import PipelineMetrics, TxOutcome
 from repro.fabric.network import FabricNetwork
 from repro.fabric.policy import AllOrgs, AnyOrg, OutOf, RequireOrg
@@ -42,7 +48,11 @@ __all__ = [
     "filter_stale_within_block",
     "Chaincode",
     "ChaincodeStub",
+    "ChaosReport",
+    "generate_chaos_schedule",
+    "run_chaos",
     "BatchCutConfig",
+    "ConsensusConfig",
     "CostModel",
     "FabricConfig",
     "PipelineMetrics",

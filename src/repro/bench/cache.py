@@ -40,7 +40,10 @@ from repro.bench.spec import ExperimentSpec
 #: 2: metrics snapshots may carry a "validation" key (pipeline stats),
 #: and configs gained the validation_workers/scheduler/pipeline_depth
 #: knobs — which flow into the key via config_to_dict automatically.
-CACHE_FORMAT = 2
+#: 3: metrics snapshots may carry a "consensus" key, and configs gained
+#: orderer_nodes plus the nested ConsensusConfig timing knobs (also in
+#: the key via config_to_dict).
+CACHE_FORMAT = 3
 
 #: Default cache directory, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"

@@ -17,7 +17,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Union
 
 from repro.core.batch_cutter import BatchCutConfig
 from repro.errors import ReproError
-from repro.fabric.config import CostModel, FabricConfig
+from repro.fabric.config import ConsensusConfig, CostModel, FabricConfig
 from repro.fabric.metrics import PipelineMetrics, TxOutcome
 from repro.faults import schedule_from_dict
 
@@ -69,7 +69,11 @@ def config_from_dict(data: Dict[str, object]) -> FabricConfig:
     batch = BatchCutConfig(**data.pop("batch"))
     costs = CostModel(**data.pop("costs"))
     faults = schedule_from_dict(data.pop("faults", {}))
-    return FabricConfig(batch=batch, costs=costs, faults=faults, **data)
+    # Absent in pre-consensus snapshots (and cache entries they wrote).
+    consensus = ConsensusConfig(**data.pop("consensus", {}))
+    return FabricConfig(
+        batch=batch, costs=costs, faults=faults, consensus=consensus, **data
+    )
 
 
 def metrics_to_dict(metrics: PipelineMetrics) -> Dict[str, object]:
@@ -99,6 +103,8 @@ def metrics_to_dict(metrics: PipelineMetrics) -> Dict[str, object]:
         snapshot["cost_breakdown"] = metrics.cost_breakdown.to_dict()
     if metrics.validation is not None:
         snapshot["validation"] = metrics.validation.to_dict()
+    if metrics.consensus is not None:
+        snapshot["consensus"] = metrics.consensus.to_dict()
     return snapshot
 
 
@@ -127,6 +133,10 @@ def metrics_from_dict(data: Dict[str, object]) -> PipelineMetrics:
         from repro.fabric.metrics import ValidationStats
 
         metrics.validation = ValidationStats.from_dict(data["validation"])
+    if "consensus" in data:
+        from repro.fabric.metrics import ConsensusStats
+
+        metrics.consensus = ConsensusStats.from_dict(data["consensus"])
     return metrics
 
 

@@ -17,6 +17,18 @@ parameter grid across worker processes (``--jobs``) with on-disk result
 caching in ``.repro-cache/`` — a second identical invocation completes
 from cache without re-simulating; ``profile`` traces both systems and
 prints the Figure 1-style cost attribution per resource.
+
+Two more subcommands cover robustness: ``verify-ledger`` checks the
+hash chain of an exported ledger, and ``chaos`` runs randomized fault
+schedules (peer/orderer crashes, partitions, lossy links) against the
+replicated ordering service and asserts the consensus safety
+invariants after every run::
+
+    python -m repro chaos --seeds 20 --report chaos-report.json
+
+Fault schedules can also be loaded from JSON with ``--faults-file``
+(the :meth:`~repro.faults.FaultSchedule.to_dict` layout), mutually
+exclusive with the inline ``--crash/--stall/...`` flags.
 """
 
 from __future__ import annotations
@@ -63,6 +75,7 @@ SWEEPABLE = {
     "validation-workers": ("validation_workers", int),
     "validation-scheduler": ("validation_scheduler", str),
     "pipeline-depth": ("pipeline_depth", int),
+    "orderer-nodes": ("orderer_nodes", int),
 }
 
 
@@ -148,6 +161,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="verify the hash chain of an exported ledger file",
     )
     verify.add_argument("path", help="ledger JSON written by repro.ledger.export")
+
+    chaos = subcommands.add_parser(
+        "chaos",
+        help="randomized fault schedules with consensus invariant checks",
+    )
+    chaos.add_argument(
+        "--seeds", type=int, default=20,
+        help="number of chaos seeds to run (default 20)",
+    )
+    chaos.add_argument(
+        "--seed-base", type=int, default=0,
+        help="first seed; seeds run [base, base+seeds) (default 0)",
+    )
+    chaos.add_argument(
+        "--duration", type=float, default=1.5,
+        help="simulated seconds to fire the workload per run (default 1.5)",
+    )
+    chaos.add_argument(
+        "--drain", type=float, default=4.0,
+        help="extra simulated seconds so failovers settle (default 4)",
+    )
+    chaos.add_argument(
+        "--orderer-nodes", type=int, default=3,
+        help="ordering-service replicas under test (default 3)",
+    )
+    chaos.add_argument(
+        "--system", choices=("fabric", "fabric++"), default="fabric",
+        help="pipeline variant to stress (default fabric)",
+    )
+    chaos.add_argument(
+        "--report", metavar="PATH", default=None,
+        help="write the full invariant report to PATH as JSON",
+    )
     return parser
 
 
@@ -210,10 +256,20 @@ def _add_system_arguments(sub: argparse.ArgumentParser, with_system: bool) -> No
                      help="blocks in flight per channel: K>1 overlaps "
                           "verification of block n+1 with the commit of "
                           "block n (default 1)")
+    sub.add_argument("--orderer-nodes", type=int, default=1, metavar="N",
+                     help="ordering-service replicas: N>=2 enables the "
+                          "Raft-style replicated orderer with leader "
+                          "election (default 1 = single orderer)")
 
 
 def _add_fault_arguments(sub: argparse.ArgumentParser) -> None:
     """Deterministic fault-injection knobs (default: inject nothing)."""
+    sub.add_argument(
+        "--faults-file", metavar="PATH", default=None,
+        help="load a complete fault schedule from a JSON file (the "
+             "FaultSchedule.to_dict layout); mutually exclusive with the "
+             "inline fault flags below",
+    )
     sub.add_argument(
         "--crash", action="append", default=None, metavar="PEER@AT+DUR",
         help="crash PEER at simulated second AT for DUR seconds, e.g. "
@@ -267,8 +323,56 @@ def _parse_stall_window(text: str) -> StallWindow:
         raise ConfigError(f"bad --stall {text!r}: {error}") from error
 
 
+def _load_faults_file(path: str) -> FaultSchedule:
+    """Parse a JSON fault schedule written in the ``to_dict`` layout."""
+    import json
+
+    from repro.faults import schedule_from_dict
+
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except OSError as error:
+        raise ConfigError(f"cannot read --faults-file {path!r}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise ConfigError(f"bad JSON in --faults-file {path!r}: {error}") from error
+    if not isinstance(data, dict):
+        raise ConfigError(
+            f"bad --faults-file {path!r}: expected a JSON object, "
+            f"got {type(data).__name__}"
+        )
+    try:
+        schedule = schedule_from_dict(data)
+    except TypeError as error:
+        raise ConfigError(f"bad --faults-file {path!r}: {error}") from error
+    if (
+        "endorsement_timeout" not in data
+        and not schedule.is_zero
+        and not schedule.endorsement_timeout
+    ):
+        # Same default as the inline flags: any injected fault needs a
+        # client-side deadline to stay live.
+        schedule = replace(schedule, endorsement_timeout=0.05)
+    return schedule
+
+
 def faults_from_args(args: argparse.Namespace) -> FaultSchedule:
     """Build the fault schedule the arguments describe (all-zero default)."""
+    faults_file = getattr(args, "faults_file", None)
+    inline_flags = (
+        bool(getattr(args, "crash", None))
+        or bool(getattr(args, "stall", None))
+        or bool(getattr(args, "drop_rate", 0.0))
+        or bool(getattr(args, "jitter", 0.0))
+        or getattr(args, "endorse_timeout", None) is not None
+    )
+    if faults_file:
+        if inline_flags:
+            raise ConfigError(
+                "--faults-file cannot be combined with inline fault flags "
+                "(--crash/--stall/--drop-rate/--jitter/--endorse-timeout)"
+            )
+        return _load_faults_file(faults_file)
     crashes = tuple(
         _parse_crash_window(text) for text in getattr(args, "crash", None) or []
     )
@@ -347,6 +451,7 @@ def config_from_args(args: argparse.Namespace) -> FabricConfig:
         validation_workers=getattr(args, "validation_workers", 1),
         validation_scheduler=getattr(args, "validation_scheduler", "serial"),
         pipeline_depth=getattr(args, "pipeline_depth", 1),
+        orderer_nodes=getattr(args, "orderer_nodes", 1),
     )
     max_resubmits = getattr(args, "max_resubmits", None)
     if max_resubmits is not None:
@@ -583,6 +688,54 @@ def command_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def command_chaos(args: argparse.Namespace) -> int:
+    """Run randomized fault schedules and check consensus invariants."""
+    from repro.chaos import INVARIANT_NAMES, run_chaos
+
+    reports = []
+    for seed in range(args.seed_base, args.seed_base + args.seeds):
+        report = run_chaos(
+            seed,
+            duration=args.duration,
+            drain=args.drain,
+            orderer_nodes=args.orderer_nodes,
+            fabric_plus_plus=(args.system == "fabric++"),
+        )
+        reports.append(report)
+        status = "PASS" if report.passed else "FAIL"
+        print(
+            f"seed {report.seed:>4d}  {status}  "
+            f"committed={report.committed:>5d}  blocks={report.blocks:>3d}  "
+            f"leader_changes={report.leader_changes}  "
+            f"reproposed={report.txs_reproposed}  "
+            f"dropped={report.messages_dropped}  "
+            f"faults={len(report.faults)}"
+        )
+        for line in report.details:
+            print(f"           {line}")
+    passed = sum(1 for report in reports if report.passed)
+    print(
+        f"\nchaos: {passed}/{len(reports)} seeds passed all "
+        f"{len(INVARIANT_NAMES)} invariants + liveness"
+    )
+    if args.report:
+        import json
+
+        payload = {
+            "seeds": args.seeds,
+            "seed_base": args.seed_base,
+            "system": args.system,
+            "orderer_nodes": args.orderer_nodes,
+            "passed": passed,
+            "failed": len(reports) - passed,
+            "runs": [report.to_dict() for report in reports],
+        }
+        with open(args.report, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote invariant report to {args.report}")
+    return 0 if passed == len(reports) else 1
+
+
 def command_verify_ledger(args: argparse.Namespace) -> int:
     from repro.errors import LedgerError, LedgerVerificationError
     from repro.ledger.export import load_ledger
@@ -634,6 +787,7 @@ COMMANDS = {
     "sweep": command_sweep,
     "profile": command_profile,
     "verify-ledger": command_verify_ledger,
+    "chaos": command_chaos,
 }
 
 

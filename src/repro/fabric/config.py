@@ -92,6 +92,49 @@ class CostModel:
 
 
 @dataclass(frozen=True)
+class ConsensusConfig:
+    """Timing knobs of the replicated Raft-style ordering cluster.
+
+    Only consulted when ``FabricConfig.orderer_nodes > 1``; with a single
+    orderer no consensus machinery is built at all. The defaults follow
+    the usual Raft sizing rule: broadcast latency << heartbeat interval
+    << election timeout, so a healthy cluster elects once and never
+    spuriously re-elects.
+    """
+
+    #: Election timeouts are drawn uniformly from this range, per node
+    #: and per election, from the node's dedicated consensus RNG stream.
+    election_timeout_min: float = 0.15
+    election_timeout_max: float = 0.30
+    #: Leader-to-follower heartbeat (empty AppendEntries) period.
+    heartbeat_interval: float = 0.05
+    #: One-way network latency for a consensus message between nodes.
+    message_delay: float = 0.5e-3
+    #: Receiver CPU charged per consensus message (vote, append, ack).
+    message_cpu: float = 50e-6
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` if the timing knobs are inconsistent."""
+        if self.election_timeout_min <= 0:
+            raise ConfigError("election_timeout_min must be > 0")
+        if self.election_timeout_max <= self.election_timeout_min:
+            raise ConfigError(
+                "election_timeout_max must exceed election_timeout_min"
+            )
+        if self.heartbeat_interval <= 0:
+            raise ConfigError("heartbeat_interval must be > 0")
+        if self.heartbeat_interval >= self.election_timeout_min:
+            raise ConfigError(
+                "heartbeat_interval must be below election_timeout_min, "
+                "or followers time out between heartbeats"
+            )
+        if self.message_delay < 0:
+            raise ConfigError("message_delay must be >= 0")
+        if self.message_cpu < 0:
+            raise ConfigError("message_cpu must be >= 0")
+
+
+@dataclass(frozen=True)
 class FabricConfig:
     """Full configuration of one network run."""
 
@@ -136,6 +179,13 @@ class FabricConfig:
     #: leaves the healthy pipeline bit-identical to a fault-free build.
     faults: FaultSchedule = field(default_factory=FaultSchedule)
 
+    #: Ordering-service replication (``repro.consensus``). The default of
+    #: one node keeps the legacy single ``OrderingService`` and is
+    #: bit-identical to the pre-consensus build; ``orderer_nodes >= 2``
+    #: replaces it with a Raft-style CFT cluster per channel.
+    orderer_nodes: int = 1
+    consensus: ConsensusConfig = field(default_factory=ConsensusConfig)
+
     #: Validation pipeline (``repro.validation``). The defaults select the
     #: legacy inline serial validator, which is bit-identical to the
     #: pre-pipeline build; any non-default value switches the peer to the
@@ -162,6 +212,11 @@ class FabricConfig:
     max_cycles_per_block: int = 1000
 
     seed: int = 42
+
+    @property
+    def uses_replicated_ordering(self) -> bool:
+        """True when ordering runs as a replicated consensus cluster."""
+        return self.orderer_nodes > 1
 
     @property
     def uses_validation_pipeline(self) -> bool:
@@ -213,7 +268,35 @@ class FabricConfig:
             )
         if self.pipeline_depth < 1:
             raise ConfigError("pipeline_depth must be >= 1")
+        if self.orderer_nodes < 1:
+            raise ConfigError("orderer_nodes must be >= 1")
+        self.consensus.validate()
         self.faults.validate()
+        if not self.uses_replicated_ordering:
+            if self.faults.orderer_crashes:
+                raise ConfigError(
+                    "orderer crash windows require orderer_nodes >= 2"
+                )
+            if self.faults.partitions:
+                raise ConfigError(
+                    "partition windows require orderer_nodes >= 2"
+                )
+        for window in self.faults.orderer_crashes:
+            if window.node >= self.orderer_nodes:
+                raise ConfigError(
+                    f"orderer crash window ({window.describe()}) names "
+                    f"node {window.node} but only {self.orderer_nodes} "
+                    "orderer nodes exist"
+                )
+        for partition in self.faults.partitions:
+            for group in partition.groups:
+                for node in group:
+                    if node >= self.orderer_nodes:
+                        raise ConfigError(
+                            f"partition window ({partition.describe()}) "
+                            f"names node {node} but only "
+                            f"{self.orderer_nodes} orderer nodes exist"
+                        )
 
     def with_fabric_plus_plus(self) -> "FabricConfig":
         """Return a copy with every Fabric++ optimization enabled."""

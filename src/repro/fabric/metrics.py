@@ -197,6 +197,60 @@ class ValidationStats:
 
 
 @dataclass
+class ConsensusStats:
+    """Ordering-cluster counters for one replicated run.
+
+    Only attached when ``FabricConfig.orderer_nodes > 1``; single-orderer
+    runs leave :attr:`PipelineMetrics.consensus` as ``None`` so their
+    metric snapshots stay byte-identical to pre-consensus builds.
+    """
+
+    #: Nodes in the ordering cluster.
+    nodes: int = 0
+    #: Elections started (candidacies, including split-vote retries).
+    elections_started: int = 0
+    #: Leadership wins across every channel's Raft group.
+    leader_changes: int = 0
+    #: Highest Raft term reached by any group.
+    max_term: int = 0
+    #: Consensus messages sent / lost to crashes and partitions.
+    messages_sent: int = 0
+    messages_dropped: int = 0
+    #: Batch entries proposed by leaders / applied after quorum commit.
+    entries_proposed: int = 0
+    entries_committed: int = 0
+    #: Pending transactions re-queued on a leadership change.
+    txs_reproposed: int = 0
+    #: Transactions whose second committed occurrence (failover double
+    #: proposal) was suppressed by apply-time dedup.
+    duplicate_txs_suppressed: int = 0
+
+    def summary(self) -> Dict[str, object]:
+        """Flat dict of the headline consensus numbers."""
+        return {
+            "nodes": self.nodes,
+            "elections_started": self.elections_started,
+            "leader_changes": self.leader_changes,
+            "max_term": self.max_term,
+            "messages_sent": self.messages_sent,
+            "messages_dropped": self.messages_dropped,
+            "entries_proposed": self.entries_proposed,
+            "entries_committed": self.entries_committed,
+            "txs_reproposed": self.txs_reproposed,
+            "duplicate_txs_suppressed": self.duplicate_txs_suppressed,
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form for JSON round-tripping."""
+        return self.summary()
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ConsensusStats":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(**data)
+
+
+@dataclass
 class PipelineMetrics:
     """Counters and latency samples for one simulated run."""
 
@@ -236,6 +290,10 @@ class PipelineMetrics:
     #: on legacy serial runs — the same conditional-key discipline as
     #: ``cost_breakdown``.
     validation: Optional[ValidationStats] = None
+    #: Replicated-ordering stats. Set only when the run used the Raft
+    #: cluster (``orderer_nodes > 1``); None (and absent from summaries)
+    #: on single-orderer runs.
+    consensus: Optional[ConsensusStats] = None
 
     def record_fired(self) -> None:
         """Count one fired proposal."""
@@ -440,4 +498,6 @@ class PipelineMetrics:
             summary["crypto_network_share"] = round(share, 4)
         if self.validation is not None:
             summary["validation"] = self.validation.summary(self.duration)
+        if self.consensus is not None:
+            summary["consensus"] = self.consensus.summary()
         return summary

@@ -21,6 +21,8 @@ from repro.fabric.metrics import PipelineMetrics, TxOutcome
 from repro.fabric.orderer import OrderingService
 from repro.fabric.peer import Peer
 from repro.fabric.policy import AllOrgs, EndorsementPolicy, parse_policy_spec
+from repro.consensus.cluster import OrdererCluster
+from repro.consensus.service import ReplicatedOrderingService
 from repro.faults import FaultInjector
 from repro.ledger.block import Block
 from repro.sim.distributions import Rng, mix_seed
@@ -117,6 +119,14 @@ class FabricNetwork:
         self.orderer_cpu = Resource(self.env, config.cores_per_peer)
         self.client_cpu = Resource(self.env, config.cores_per_peer)
 
+        # Replicated ordering: built only for orderer_nodes >= 2, so the
+        # default single-orderer path schedules no consensus events and
+        # stays bit-identical to the pre-consensus build.
+        self.orderer_cluster: Optional[OrdererCluster] = None
+        if config.uses_replicated_ordering:
+            self.orderer_cluster = OrdererCluster(self.env, config, tracer=tracer)
+            self.metrics.consensus = self.orderer_cluster.stats
+
         self.orderers: Dict[str, OrderingService] = {}
         self.clients: List[Client] = []
         self.workloads: Dict[str, Workload] = {}
@@ -140,15 +150,27 @@ class FabricNetwork:
         for peer in self.peers:
             peer.join_channel(channel, chaincodes, self.policy, initial_state)
 
-        orderer = OrderingService(
-            self.env,
-            channel,
-            self.config,
-            self.orderer_cpu,
-            broadcast=self._broadcast,
-            notify=self._notify,
-            tracer=self.tracer,
-        )
+        if self.orderer_cluster is not None:
+            orderer = ReplicatedOrderingService(
+                self.env,
+                channel,
+                channel_index,
+                self.config,
+                self.orderer_cluster,
+                broadcast=self._broadcast,
+                notify=self._notify,
+                tracer=self.tracer,
+            )
+        else:
+            orderer = OrderingService(
+                self.env,
+                channel,
+                self.config,
+                self.orderer_cpu,
+                broadcast=self._broadcast,
+                notify=self._notify,
+                tracer=self.tracer,
+            )
         self.orderers[channel] = orderer
 
         for client_index in range(self.config.clients_per_channel):
@@ -256,6 +278,29 @@ class FabricNetwork:
 
     # -- fault hooks -----------------------------------------------------------------
 
+    def _require_cluster(self) -> OrdererCluster:
+        if self.orderer_cluster is None:
+            raise ConfigError(
+                "orderer fault hooks require orderer_nodes >= 2"
+            )
+        return self.orderer_cluster
+
+    def crash_orderer(self, index: int) -> None:
+        """Take one ordering node down (fault injector / bench hook)."""
+        self._require_cluster().crash(index)
+
+    def recover_orderer(self, index: int) -> None:
+        """Bring a crashed ordering node back as a follower."""
+        self._require_cluster().recover(index)
+
+    def set_partition(self, groups) -> None:
+        """Partition the ordering cluster into isolated groups."""
+        self._require_cluster().set_partition(groups)
+
+    def heal_partition(self) -> None:
+        """Restore full ordering-cluster connectivity."""
+        self._require_cluster().heal_partition()
+
     def crash_peer(self, name: str) -> None:
         """Take a peer down: it stops endorsing/validating and loses
         in-flight work (called by the fault injector)."""
@@ -281,7 +326,7 @@ class FabricNetwork:
             self.faults.record("recoveries")
             self.faults.log_event("recover", name)
         for channel in self.channels:
-            horizon = self.orderers[channel]._next_block_id - 1
+            horizon = self.orderers[channel].next_block_id - 1
             self.env.process(
                 self._catchup_poller(peer, channel, horizon),
                 name=f"catchup/{channel}/{name}",

@@ -67,6 +67,11 @@ class OrderingService:
         self.txs_early_aborted = 0
         env.process(self._receiver(), name=f"orderer/{channel}")
 
+    @property
+    def next_block_id(self) -> int:
+        """Id the next cut block will carry (committed tip + 1)."""
+        return self._next_block_id
+
     # -- receiving ---------------------------------------------------------------
 
     def submit(self, transaction: Transaction) -> None:
@@ -112,6 +117,12 @@ class OrderingService:
         if deadline is None:  # pragma: no cover - defensive
             return
         yield self.env.timeout(max(0.0, deadline - self.env.now))
+        # A timer that expires inside a stall window must not cut
+        # mid-stall: wait the stall out first, and only then decide. If a
+        # size cut raced us during the stall, the generation moved on and
+        # this timer is stale. With no stalls installed this adds no
+        # events, keeping healthy runs bit-identical.
+        yield from self._maybe_stall()
         # Only cut if no other criterion already cut this batch.
         if generation == self._generation and not self._cutter.is_empty:
             yield from self._cut(CutReason.TIMEOUT)

@@ -50,6 +50,10 @@ class CrashWindow:
     at: float
     duration: float
 
+    def describe(self) -> str:
+        """Compact ``peer@at+duration`` form for error messages."""
+        return f"{self.peer}@{self.at}+{self.duration}"
+
     def validate(self) -> None:
         """Raise :class:`ConfigError` on a malformed window."""
         if not self.peer:
@@ -75,6 +79,10 @@ class StallWindow:
     at: float
     duration: float
 
+    def describe(self) -> str:
+        """Compact ``stall@at+duration`` form for error messages."""
+        return f"stall@{self.at}+{self.duration}"
+
     def validate(self) -> None:
         """Raise :class:`ConfigError` on a malformed window."""
         if self.at < 0:
@@ -87,6 +95,106 @@ class StallWindow:
     @property
     def until(self) -> float:
         """The instant the orderer resumes."""
+        return self.at + self.duration
+
+
+@dataclass(frozen=True)
+class OrdererCrashWindow:
+    """One ordering-node outage: node ``node`` (an index into the
+    replicated cluster) is down during ``[at, at + duration)``.
+
+    A crashed node stops all consensus activity — timers, votes,
+    replication — and ignores every message. Its Raft log and term
+    survive the crash (crash-fault tolerance models a durable write-ahead
+    log); on recovery the node resumes as a follower and is reconciled by
+    the current leader. Requires ``FabricConfig.orderer_nodes > 1``.
+    """
+
+    node: int
+    at: float
+    duration: float
+
+    def describe(self) -> str:
+        """Compact ``orderer<node>@at+duration`` form for errors."""
+        return f"orderer{self.node}@{self.at}+{self.duration}"
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on a malformed window."""
+        if self.node < 0:
+            raise ConfigError(
+                f"orderer crash needs a node index >= 0, got {self.node}"
+            )
+        if self.at < 0:
+            raise ConfigError(
+                f"orderer crash time must be >= 0, got {self.at}"
+            )
+        if self.duration <= 0:
+            raise ConfigError(
+                f"orderer crash duration must be > 0, got {self.duration}"
+            )
+
+    @property
+    def until(self) -> float:
+        """The recovery instant."""
+        return self.at + self.duration
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """A network partition of the ordering cluster during
+    ``[at, at + duration)``.
+
+    ``groups`` lists disjoint groups of orderer-node indices; nodes can
+    exchange consensus messages only within their group. Nodes not named
+    in any group are each isolated on their own. Minority groups cannot
+    assemble a quorum and stall; when the window ends the cluster heals
+    and log reconciliation brings every group onto one chain without
+    forking. Requires ``FabricConfig.orderer_nodes > 1``.
+    """
+
+    at: float
+    duration: float
+    groups: Tuple[Tuple[int, ...], ...] = ()
+
+    def describe(self) -> str:
+        """Compact ``partition@at+duration [0,1|2]`` form for errors."""
+        layout = "|".join(
+            ",".join(str(node) for node in group) for group in self.groups
+        )
+        return f"partition@{self.at}+{self.duration} [{layout}]"
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on a malformed window."""
+        if self.at < 0:
+            raise ConfigError(
+                f"partition time must be >= 0, got {self.at}"
+            )
+        if self.duration <= 0:
+            raise ConfigError(
+                f"partition duration must be > 0, got {self.duration}"
+            )
+        if len(self.groups) < 2:
+            raise ConfigError(
+                "a partition needs at least two groups of node indices"
+            )
+        seen = set()
+        for group in self.groups:
+            if not group:
+                raise ConfigError("partition groups must be non-empty")
+            for node in group:
+                if node < 0:
+                    raise ConfigError(
+                        f"partition node indices must be >= 0, got {node}"
+                    )
+                if node in seen:
+                    raise ConfigError(
+                        f"node {node} appears in more than one partition group"
+                    )
+                seen.add(node)
+
+    @property
+    def until(self) -> float:
+        """The instant the partition heals."""
         return self.at + self.duration
 
 
@@ -112,6 +220,14 @@ class FaultSchedule:
     jitter_mean: float = 0.0
     #: Ordering-service stall windows (apply to every channel).
     stalls: Tuple[StallWindow, ...] = ()
+    #: Crash/recovery windows for individual nodes of the replicated
+    #: ordering cluster (``repro.consensus``). Each window names a node
+    #: index; requires ``orderer_nodes > 1``.
+    orderer_crashes: Tuple[OrdererCrashWindow, ...] = ()
+    #: Network partitions splitting the ordering cluster into groups
+    #: that cannot exchange consensus messages. At most one partition is
+    #: active at a time; requires ``orderer_nodes > 1``.
+    partitions: Tuple[PartitionWindow, ...] = ()
     #: Client-side endorsement collection deadline (simulated seconds).
     #: 0 disables the robust collection path entirely; required > 0 when
     #: crashes or message loss are scheduled, because a client waiting
@@ -139,8 +255,16 @@ class FaultSchedule:
             and self.drop_probability == 0.0
             and self.jitter_mean == 0.0
             and not self.stalls
+            and not self.orderer_crashes
+            and not self.partitions
             and self.endorsement_timeout == 0.0
         )
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form (``asdict``); inverse of :func:`schedule_from_dict`."""
+        from dataclasses import asdict
+
+        return asdict(self)
 
     def validate(self) -> None:
         """Raise :class:`ConfigError` if the schedule is inconsistent."""
@@ -166,10 +290,21 @@ class FaultSchedule:
             raise ConfigError("block_redelivery_interval must be > 0")
         if self.catchup_poll_interval <= 0:
             raise ConfigError("catchup_poll_interval must be > 0")
-        for window in self.crashes:
-            window.validate()
-        for window in self.stalls:
-            window.validate()
+        for kind, windows in (
+            ("crashes", self.crashes),
+            ("stalls", self.stalls),
+            ("orderer_crashes", self.orderer_crashes),
+            ("partitions", self.partitions),
+        ):
+            for index, window in enumerate(windows):
+                try:
+                    window.validate()
+                except ConfigError as error:
+                    # Name the offending window so a schedule assembled
+                    # from a file or a generator is debuggable.
+                    raise ConfigError(
+                        f"{kind}[{index}] ({window.describe()}): {error}"
+                    ) from error
         # A client facing a dead or lossy endorser needs a deadline to
         # make progress; refuse schedules that would hang it instead.
         if (self.crashes or self.drop_probability > 0) and (
@@ -188,9 +323,26 @@ class FaultSchedule:
                 if later.at < earlier.until:
                     raise ConfigError(
                         f"overlapping crash windows for {peer}: "
-                        f"[{earlier.at}, {earlier.until}) and "
-                        f"[{later.at}, {later.until})"
+                        f"({earlier.describe()}) and ({later.describe()})"
                     )
+        by_node: Dict[int, List[OrdererCrashWindow]] = {}
+        for orderer_window in self.orderer_crashes:
+            by_node.setdefault(orderer_window.node, []).append(orderer_window)
+        for node, node_windows in by_node.items():
+            node_windows.sort(key=lambda w: w.at)
+            for earlier, later in zip(node_windows, node_windows[1:]):
+                if later.at < earlier.until:
+                    raise ConfigError(
+                        f"overlapping orderer crash windows for node {node}: "
+                        f"({earlier.describe()}) and ({later.describe()})"
+                    )
+        ordered_partitions = sorted(self.partitions, key=lambda w: w.at)
+        for earlier, later in zip(ordered_partitions, ordered_partitions[1:]):
+            if later.at < earlier.until:
+                raise ConfigError(
+                    "overlapping partition windows: "
+                    f"({earlier.describe()}) and ({later.describe()})"
+                )
 
 
 def schedule_from_dict(data: Dict[str, object]) -> FaultSchedule:
@@ -208,7 +360,29 @@ def schedule_from_dict(data: Dict[str, object]) -> FaultSchedule:
         window if isinstance(window, StallWindow) else StallWindow(**window)
         for window in data.pop("stalls", ())
     )
-    return FaultSchedule(crashes=crashes, stalls=stalls, **data)
+    orderer_crashes = tuple(
+        window
+        if isinstance(window, OrdererCrashWindow)
+        else OrdererCrashWindow(**window)
+        for window in data.pop("orderer_crashes", ())
+    )
+    partitions = []
+    for window in data.pop("partitions", ()):
+        if isinstance(window, PartitionWindow):
+            partitions.append(window)
+            continue
+        window = dict(window)
+        window["groups"] = tuple(
+            tuple(group) for group in window.get("groups", ())
+        )
+        partitions.append(PartitionWindow(**window))
+    return FaultSchedule(
+        crashes=crashes,
+        stalls=stalls,
+        orderer_crashes=orderer_crashes,
+        partitions=tuple(partitions),
+        **data,
+    )
 
 
 def crash_schedule(
@@ -316,6 +490,16 @@ class FaultInjector:
                 self.env.process(
                     self._stall_logger(window), name="fault/stall"
                 )
+        for window in self.schedule.orderer_crashes:
+            self.env.process(
+                self._orderer_crash_process(network, window),
+                name=f"fault/orderer-crash/{window.node}",
+            )
+        for window in self.schedule.partitions:
+            self.env.process(
+                self._partition_process(network, window),
+                name="fault/partition",
+            )
 
     def _crash_process(self, network, window: CrashWindow):
         yield self.env.timeout(window.at)
@@ -329,3 +513,21 @@ class FaultInjector:
         self.log_event("stall_begin", "orderer")
         yield self.env.timeout(window.duration)
         self.log_event("stall_end", "orderer")
+
+    def _orderer_crash_process(self, network, window: OrdererCrashWindow):
+        yield self.env.timeout(window.at)
+        self.record("orderer_crashes")
+        self.log_event("orderer_crash", f"orderer{window.node}")
+        network.crash_orderer(window.node)
+        yield self.env.timeout(window.duration)
+        self.log_event("orderer_recover", f"orderer{window.node}")
+        network.recover_orderer(window.node)
+
+    def _partition_process(self, network, window: PartitionWindow):
+        yield self.env.timeout(window.at)
+        self.record("partitions")
+        self.log_event("partition_begin", window.describe())
+        network.set_partition(window.groups)
+        yield self.env.timeout(window.duration)
+        self.log_event("partition_heal", "orderers")
+        network.heal_partition()

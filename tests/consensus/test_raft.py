@@ -1,0 +1,211 @@
+"""Unit tests for the Raft-style consensus core (no Fabric pipeline).
+
+These drive :class:`RaftGroup` directly over an :class:`OrdererCluster`:
+elections, log replication, leader failover, and partition behaviour —
+minority sides stall, healed partitions reconcile without forking.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.consensus.cluster import OrdererCluster
+from repro.consensus.raft import FOLLOWER, LEADER, RaftGroup
+from repro.errors import SimulationError
+from repro.fabric.config import ConsensusConfig, FabricConfig
+from repro.sim.engine import Environment
+
+
+def build_group(orderer_nodes=3, seed=7):
+    config = replace(FabricConfig(), orderer_nodes=orderer_nodes, seed=seed)
+    env = Environment()
+    cluster = OrdererCluster(env, config)
+    group = RaftGroup(
+        cluster,
+        "ch0",
+        0,
+        config,
+        on_leader=lambda replica: None,
+        on_commit=lambda replica: None,
+    )
+    group.start()
+    return env, cluster, group
+
+
+def committed_batches(replica):
+    """The committed batch entries (no-ops skipped), as comparable data."""
+    return [
+        (entry.term, entry.batch)
+        for entry in replica.log[: replica.commit_index]
+        if not entry.noop
+    ]
+
+
+def test_cluster_requires_at_least_two_nodes():
+    config = replace(FabricConfig(), orderer_nodes=1)
+    with pytest.raises(SimulationError):
+        OrdererCluster(Environment(), config)
+
+
+@pytest.mark.parametrize("nodes,quorum", [(2, 2), (3, 2), (4, 3), (5, 3)])
+def test_quorum_is_a_majority(nodes, quorum):
+    _env, cluster, _group = build_group(orderer_nodes=nodes)
+    assert cluster.quorum == quorum
+
+
+def test_exactly_one_leader_emerges():
+    env, cluster, group = build_group()
+    env.run(until=1.0)
+    leaders = [r for r in group.replicas if r.role == LEADER]
+    assert len(leaders) == 1
+    assert cluster.stats.leader_changes == 1
+    # Everyone agrees on the winner's term.
+    term = leaders[0].current_term
+    assert all(r.current_term == term for r in group.replicas)
+
+
+def test_election_timeline_is_deterministic():
+    runs = []
+    for _ in range(2):
+        env, cluster, _group = build_group(seed=21)
+        env.run(until=2.0)
+        runs.append(list(cluster.leadership_log))
+    assert runs[0] == runs[1] and runs[0]
+
+
+def test_entries_replicate_to_every_node():
+    env, _cluster, group = build_group()
+    env.run(until=1.0)
+    leader = group.leader()
+    assert leader.propose(("t1", "t2"), ())
+    assert leader.propose(("t3",), ())
+    env.run(until=1.5)
+    for replica in group.replicas:
+        assert replica.commit_index == leader.last_log_index
+        assert committed_batches(replica) == committed_batches(leader)
+    assert committed_batches(leader) == [
+        (leader.current_term, ("t1", "t2")),
+        (leader.current_term, ("t3",)),
+    ]
+
+
+def test_followers_reject_proposals():
+    env, _cluster, group = build_group()
+    env.run(until=1.0)
+    follower = next(r for r in group.replicas if r.role == FOLLOWER)
+    assert not follower.propose(("t1",), ())
+
+
+def test_leader_crash_elects_successor_and_preserves_log():
+    env, cluster, group = build_group()
+    env.run(until=1.0)
+    old_leader = group.leader()
+    old_leader.propose(("committed-before-crash",), ())
+    env.run(until=1.2)
+    old_term = old_leader.current_term
+
+    cluster.crash(old_leader.node.index)
+    env.run(until=2.0)
+    new_leader = group.leader()
+    assert new_leader is not None
+    assert new_leader.node.index != old_leader.node.index
+    assert new_leader.current_term > old_term
+    # The committed entry survived the failover.
+    assert (old_term, ("committed-before-crash",)) in committed_batches(
+        new_leader
+    )
+
+    new_leader.propose(("after-failover",), ())
+    cluster.recover(old_leader.node.index)
+    env.run(until=3.0)
+    # The recovered node converges on the successor's log.
+    assert committed_batches(old_leader) == committed_batches(new_leader)
+    assert old_leader.role == FOLLOWER
+
+
+def test_minority_partition_stalls_then_heals_without_fork():
+    env, cluster, group = build_group()
+    env.run(until=1.0)
+    stale = group.leader()
+    stale.propose(("pre-partition",), ())
+    env.run(until=1.2)
+
+    others = [
+        r.node.index for r in group.replicas if r is not stale
+    ]
+    cluster.set_partition(((stale.node.index,), tuple(others)))
+    # The isolated leader can append locally but can never commit.
+    stale.propose(("doomed",), ())
+    before = stale.commit_index
+    env.run(until=2.5)
+    assert stale.commit_index == before
+
+    # The majority side elected a fresh leader and keeps committing.
+    majority = group.leader()
+    assert majority.node.index in others
+    assert majority.current_term > stale.current_term
+    majority.propose(("majority-progress",), ())
+    env.run(until=3.0)
+    assert (
+        majority.current_term,
+        ("majority-progress",),
+    ) in committed_batches(majority)
+
+    cluster.heal_partition()
+    env.run(until=4.0)
+    # Reconciliation: the stale leader stepped down, its uncommitted
+    # "doomed" entry was truncated away, and every log agrees.
+    assert stale.role == FOLLOWER
+    assert all(not entry.batch == ("doomed",) for entry in stale.log)
+    for replica in group.replicas:
+        assert committed_batches(replica) == committed_batches(majority)
+    # Committed pre-partition work was never lost.
+    assert any(
+        entry == ("pre-partition",)
+        for _term, entry in committed_batches(majority)
+    )
+
+
+def test_no_quorum_means_no_commits():
+    env, cluster, group = build_group()
+    env.run(until=1.0)
+    leader = group.leader()
+    for replica in group.replicas:
+        if replica is not leader:
+            cluster.crash(replica.node.index)
+    before = leader.commit_index
+    leader.propose(("stuck",), ())
+    env.run(until=2.5)
+    assert leader.commit_index == before
+
+
+def test_messages_cost_network_and_cpu():
+    env, cluster, _group = build_group()
+    env.run(until=1.0)
+    assert cluster.stats.messages_sent > 0
+    # Heartbeats keep every node's CPU ticking.
+    for node in cluster.nodes:
+        assert node.cpu.busy_time() > 0.0
+
+
+def test_custom_timeouts_flow_into_elections():
+    config = replace(
+        FabricConfig(),
+        orderer_nodes=3,
+        consensus=ConsensusConfig(
+            election_timeout_min=0.5,
+            election_timeout_max=0.9,
+            heartbeat_interval=0.1,
+        ),
+    )
+    env = Environment()
+    cluster = OrdererCluster(env, config)
+    group = RaftGroup(
+        cluster, "ch0", 0, config,
+        on_leader=lambda r: None, on_commit=lambda r: None,
+    )
+    group.start()
+    env.run(until=0.45)
+    assert group.leader() is None  # nobody may time out before 0.5s
+    env.run(until=3.0)
+    assert group.leader() is not None

@@ -1,0 +1,293 @@
+"""Replicated ordering through the full Fabric pipeline.
+
+Covers the network-level wiring: healthy replicated runs, failover under
+orderer crashes and partitions, determinism (repeat and across sweep
+worker processes), cache fingerprints, metrics serialisation, and the
+independence of the consensus RNG streams from workload/client streams.
+"""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.bench.cache import spec_fingerprint
+from repro.bench.results import metrics_from_dict, metrics_to_dict
+from repro.bench.spec import ExperimentSpec
+from repro.bench.sweep import run_sweep
+from repro.consensus.cluster import CONSENSUS_SEED_SALT
+from repro.core.batch_cutter import BatchCutConfig
+from repro.errors import ConfigError
+from repro.fabric.config import ConsensusConfig, FabricConfig
+from repro.fabric.metrics import ConsensusStats, PipelineMetrics
+from repro.fabric.network import FabricNetwork
+from repro.faults import (
+    FAULT_SEED_SALT,
+    FaultSchedule,
+    OrdererCrashWindow,
+    PartitionWindow,
+)
+from repro.sim.distributions import mix_seed
+from repro.workloads.registry import WorkloadRef, make_workload
+
+
+def replicated_config(**overrides):
+    faults = overrides.pop("faults", FaultSchedule())
+    return replace(
+        FabricConfig(),
+        batch=BatchCutConfig(max_transactions=32),
+        clients_per_channel=2,
+        client_rate=80.0,
+        seed=overrides.pop("seed", 11),
+        orderer_nodes=overrides.pop("orderer_nodes", 3),
+        faults=faults,
+        **overrides,
+    )
+
+
+def run_network(config, duration=1.5, drain=4.0):
+    workload = make_workload(
+        "smallbank", seed=config.seed, num_users=300, s_value=1.0
+    )
+    network = FabricNetwork(config, workload)
+    metrics = network.run(duration, drain=drain)
+    return network, metrics
+
+
+FAILOVER_FAULTS = FaultSchedule(
+    orderer_crashes=(OrdererCrashWindow(node=0, at=0.4, duration=0.6),),
+    partitions=(
+        PartitionWindow(at=1.2, duration=0.3, groups=((0,), (1, 2))),
+    ),
+    endorsement_timeout=0.05,
+)
+
+
+def test_healthy_replicated_run_commits_and_reports_consensus():
+    network, metrics = run_network(replicated_config())
+    assert metrics.successful > 0
+    summary = metrics.summary()
+    assert "consensus" in summary
+    consensus = summary["consensus"]
+    assert consensus["nodes"] == 3
+    assert consensus["entries_committed"] >= consensus["entries_proposed"] > 0
+    assert consensus["leader_changes"] >= 1
+    # Nothing left inside the ordering service.
+    for orderer in network.orderers.values():
+        assert orderer.pending_count == 0
+    assert network.reference_peer.channels["ch0"].ledger.verify_chain()
+
+
+def test_single_orderer_has_no_consensus_machinery():
+    config = replace(FabricConfig(), clients_per_channel=1, client_rate=50.0)
+    workload = make_workload("smallbank", seed=3, num_users=200)
+    network = FabricNetwork(config, workload)
+    assert network.orderer_cluster is None
+    metrics = network.run(1.0, drain=2.0)
+    assert metrics.consensus is None
+    assert "consensus" not in metrics.summary()
+    with pytest.raises(ConfigError):
+        network.crash_orderer(0)
+
+
+def test_failover_run_loses_nothing_and_never_duplicates():
+    config = replicated_config(
+        faults=FAILOVER_FAULTS, endorsement_policy="outof:1"
+    )
+    network, metrics = run_network(config, duration=2.0, drain=5.0)
+    assert metrics.consensus.leader_changes >= 2  # crash + partition
+    assert metrics.fault_counters.get("orderer_crashes") == 1
+    assert metrics.fault_counters.get("partitions") == 1
+
+    ledger = network.reference_peer.channels["ch0"].ledger
+    assert ledger.verify_chain()
+    # Exactly-once: no tx id occupies two ledger slots.
+    seen = set()
+    for block in ledger:
+        for tx in list(block.transactions) + list(block.early_aborted):
+            assert tx.tx_id not in seen
+            seen.add(tx.tx_id)
+    # No committed-tx loss: every commit reported to a client is a valid
+    # ledger transaction, and vice versa.
+    valid = sum(
+        1 for block in ledger for flag in block.validity.values() if flag
+    )
+    assert metrics.successful == valid > 0
+
+
+def test_faulty_replicated_run_is_repeat_deterministic():
+    config = replicated_config(
+        faults=FAILOVER_FAULTS, endorsement_policy="outof:1"
+    )
+    snapshots = []
+    for _ in range(2):
+        _network, metrics = run_network(config, duration=2.0, drain=5.0)
+        snapshots.append(
+            json.dumps(metrics_to_dict(metrics), sort_keys=True)
+        )
+    assert snapshots[0] == snapshots[1]
+
+
+def test_replicated_sweep_matches_across_worker_counts(tmp_path):
+    spec = ExperimentSpec(
+        config=replicated_config(
+            faults=FAILOVER_FAULTS, endorsement_policy="outof:1"
+        ),
+        workload=WorkloadRef(
+            "smallbank",
+            {"num_users": 300, "prob_write": 0.95, "s_value": 1.0},
+            seed=11,
+        ),
+        duration=1.5,
+        drain=4.0,
+        label="replicated",
+    )
+    specs = [spec, replace(spec, config=replace(spec.config, seed=12))]
+    serial = run_sweep(specs, jobs=1, cache=None)
+    parallel = run_sweep(specs, jobs=2, cache=None)
+    for left, right in zip(serial.values(), parallel.values()):
+        assert metrics_to_dict(left.metrics) == metrics_to_dict(right.metrics)
+
+
+def test_consensus_seed_streams_disjoint_from_client_and_fault_streams():
+    """Consensus randomness must never overlap the workload/client/fault
+    streams, so enabling replication cannot perturb what clients fire."""
+    seed = 42
+    consensus_streams = {
+        mix_seed(seed, CONSENSUS_SEED_SALT, channel, node)
+        for channel in range(4)
+        for node in range(5)
+    }
+    client_streams = {
+        mix_seed(seed, channel, client)
+        for channel in range(4)
+        for client in range(8)
+    }
+    fault_stream = {(seed * 0x9E3779B1 + FAULT_SEED_SALT) & 0x7FFFFFFF}
+    assert not consensus_streams & client_streams
+    assert not consensus_streams & fault_stream
+    assert len(consensus_streams) == 20
+
+
+# -- config validation -----------------------------------------------------
+
+
+def test_orderer_fault_windows_require_replication():
+    for faults in (
+        FaultSchedule(
+            orderer_crashes=(OrdererCrashWindow(node=0, at=0.5, duration=0.5),),
+            endorsement_timeout=0.05,
+        ),
+        FaultSchedule(
+            partitions=(
+                PartitionWindow(at=0.5, duration=0.5, groups=((0,), (1, 2))),
+            ),
+            endorsement_timeout=0.05,
+        ),
+    ):
+        config = replace(FabricConfig(), faults=faults)
+        with pytest.raises(ConfigError, match="orderer_nodes >= 2"):
+            config.validate()
+
+
+def test_orderer_fault_windows_must_name_cluster_nodes():
+    config = replace(
+        FabricConfig(),
+        orderer_nodes=3,
+        faults=FaultSchedule(
+            orderer_crashes=(OrdererCrashWindow(node=5, at=0.5, duration=0.5),),
+            endorsement_timeout=0.05,
+        ),
+    )
+    with pytest.raises(ConfigError, match="node 5"):
+        config.validate()
+
+
+@pytest.mark.parametrize(
+    "consensus",
+    [
+        ConsensusConfig(election_timeout_min=0.0),
+        ConsensusConfig(election_timeout_min=0.3, election_timeout_max=0.2),
+        ConsensusConfig(heartbeat_interval=0.0),
+        ConsensusConfig(heartbeat_interval=0.2),  # >= election_timeout_min
+        ConsensusConfig(message_delay=-1.0),
+    ],
+)
+def test_bad_consensus_knobs_rejected(consensus):
+    config = replace(FabricConfig(), orderer_nodes=3, consensus=consensus)
+    with pytest.raises(ConfigError):
+        config.validate()
+
+
+# -- cache fingerprint -----------------------------------------------------
+
+
+def small_spec(config):
+    return ExperimentSpec(
+        config=config, workload=WorkloadRef("blank"), duration=1.0
+    )
+
+
+def test_fingerprint_distinguishes_consensus_configs():
+    base = replace(
+        FabricConfig(),
+        clients_per_channel=1,
+        client_rate=100.0,
+        batch=BatchCutConfig(max_transactions=32),
+    )
+    variants = [
+        base,
+        replace(base, orderer_nodes=3),
+        replace(base, orderer_nodes=5),
+        replace(
+            base,
+            orderer_nodes=3,
+            consensus=ConsensusConfig(election_timeout_min=0.2),
+        ),
+        replace(
+            base,
+            orderer_nodes=3,
+            consensus=ConsensusConfig(heartbeat_interval=0.02),
+        ),
+        replace(
+            base,
+            orderer_nodes=3,
+            faults=FaultSchedule(
+                orderer_crashes=(
+                    OrdererCrashWindow(node=1, at=0.5, duration=0.5),
+                ),
+                endorsement_timeout=0.05,
+            ),
+        ),
+    ]
+    fingerprints = [spec_fingerprint(small_spec(c)) for c in variants]
+    assert len(set(fingerprints)) == len(fingerprints)
+
+
+# -- metrics serialisation -------------------------------------------------
+
+
+def test_consensus_stats_round_trip():
+    metrics = PipelineMetrics()
+    metrics.consensus = ConsensusStats(
+        nodes=3,
+        elections_started=2,
+        leader_changes=2,
+        max_term=3,
+        messages_sent=412,
+        messages_dropped=9,
+        entries_proposed=17,
+        entries_committed=17,
+        txs_reproposed=12,
+        duplicate_txs_suppressed=1,
+    )
+    snapshot = metrics_to_dict(metrics)
+    assert snapshot["consensus"]["leader_changes"] == 2
+    restored = metrics_from_dict(snapshot)
+    assert restored.consensus == metrics.consensus
+
+
+def test_legacy_metrics_snapshot_has_no_consensus_key():
+    snapshot = metrics_to_dict(PipelineMetrics())
+    assert "consensus" not in snapshot
+    assert metrics_from_dict(snapshot).consensus is None

@@ -188,3 +188,57 @@ def test_flush_emits_pending():
     harness.env.process(flusher())
     harness.env.run(until=0.5)  # before the 1s batch timeout
     assert len(harness.blocks) == 1
+
+
+# -- batch timer vs. stall windows ------------------------------------------
+#
+# The batch timer must *wait out* an ordering stall rather than cutting a
+# block inside it, and a timer armed for an earlier batch generation must
+# never cut the batch that follows a size-based cut.
+
+from repro.faults import StallWindow  # noqa: E402
+
+
+def submit_at(harness, at, transactions):
+    """Schedule transactions to arrive at simulated time ``at``."""
+
+    def arrival():
+        yield harness.env.timeout(at)
+        for tx in transactions:
+            harness.orderer.submit(tx)
+
+    harness.env.process(arrival(), name=f"test/submit@{at}")
+
+
+def test_batch_timer_waits_out_stall():
+    harness = OrdererHarness(vanilla_config())
+    # Stall covers the timer deadline (t=1.0): [0.5, 1.5).
+    harness.orderer.install_stalls((StallWindow(at=0.5, duration=1.0),))
+    harness.submit_all([make_tx("t0")])
+    assert len(harness.blocks) == 1
+    (tx,) = harness.blocks[0].transactions
+    # The cut happened after the stall cleared, not inside it.
+    assert tx.ordered_at >= 1.5
+
+
+def test_stale_timer_generation_cannot_cut_next_batch():
+    harness = OrdererHarness(vanilla_config())
+    # The stale timer (armed at t=0, deadline 1.0) wakes mid-stall and
+    # resumes at t=1.15 — after the size cut bumped the generation. If
+    # the generation check were missing it would cut t4's batch at 1.15,
+    # half a second before its own timer.
+    harness.orderer.install_stalls((StallWindow(at=0.95, duration=0.2),))
+    submit_at(harness, 0.0, [make_tx("t0")])
+    submit_at(harness, 0.2, [make_tx(f"t{i}") for i in (1, 2, 3)])
+    submit_at(harness, 0.5, [make_tx("t4")])
+    harness.env.run()
+
+    assert len(harness.blocks) == 2
+    first, second = harness.blocks
+    assert [t.tx_id for t in first.transactions] == ["t0", "t1", "t2", "t3"]
+    assert [t.tx_id for t in second.transactions] == ["t4"]
+    # First block cut by size just after t=0.2 (plus ordering CPU); the
+    # second waits for its *own* timer deadline (0.5 + 1.0), untouched
+    # by the stale timer's wakeup at 1.15.
+    assert 0.2 <= first.transactions[0].ordered_at < 0.5
+    assert second.transactions[0].ordered_at >= 1.5

@@ -1,0 +1,57 @@
+"""Property tests for the randomized crash-schedule generator.
+
+``crash_schedule`` feeds both the chaos harness and sweep configs, so
+its guarantees — windows inside the horizon, per-peer disjointness,
+positive outages, determinism, and picklability — must hold for *any*
+parameter combination, not just the handful the unit tests pin.
+"""
+
+import pickle
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultSchedule, crash_schedule
+
+PEERS = st.lists(
+    st.sampled_from(
+        ("peer1.OrgA", "peer0.OrgB", "peer1.OrgB", "peer2.OrgA")
+    ),
+    min_size=1,
+    max_size=4,
+    unique=True,
+).map(tuple)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    peers=PEERS,
+    crashes_per_peer=st.floats(min_value=0.0, max_value=4.0),
+    run_duration=st.floats(min_value=0.5, max_value=20.0),
+    mean_outage=st.floats(min_value=0.01, max_value=5.0),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_crash_schedule_properties(
+    peers, crashes_per_peer, run_duration, mean_outage, seed
+):
+    windows = crash_schedule(
+        peers, crashes_per_peer, run_duration, mean_outage, seed
+    )
+
+    # Every window lies fully inside the run horizon with a real outage.
+    for window in windows:
+        assert window.peer in peers
+        assert window.at >= 0.0
+        assert window.duration > 0.0
+        assert window.until <= run_duration + 1e-9
+
+    # Per-peer windows never overlap — the schedule always validates.
+    FaultSchedule(crashes=windows, endorsement_timeout=0.05).validate()
+
+    # Deterministic per seed, and picklable (sweep workers ship specs
+    # through multiprocessing).
+    again = crash_schedule(
+        peers, crashes_per_peer, run_duration, mean_outage, seed
+    )
+    assert again == windows
+    assert pickle.loads(pickle.dumps(windows)) == windows

@@ -8,6 +8,8 @@ from repro.errors import ConfigError
 from repro.faults import (
     CrashWindow,
     FaultSchedule,
+    OrdererCrashWindow,
+    PartitionWindow,
     StallWindow,
     crash_schedule,
     schedule_from_dict,
@@ -146,3 +148,112 @@ def test_crash_schedule_windows_are_valid_and_disjoint():
 
 def test_crash_schedule_zero_density_is_empty():
     assert crash_schedule(("peer1.OrgA",), 0.0, 10.0, 0.5, 42) == ()
+
+
+# -- consensus fault windows ------------------------------------------------
+
+
+def consensus_schedule(**kwargs):
+    kwargs.setdefault(
+        "orderer_crashes", (OrdererCrashWindow(node=0, at=0.5, duration=0.5),)
+    )
+    kwargs.setdefault(
+        "partitions",
+        (PartitionWindow(at=1.5, duration=0.5, groups=((0, 1), (2,))),),
+    )
+    return FaultSchedule(endorsement_timeout=0.05, **kwargs)
+
+
+def test_consensus_windows_make_schedule_nonzero():
+    assert not FaultSchedule(
+        orderer_crashes=(OrdererCrashWindow(node=1, at=0.2, duration=0.1),)
+    ).is_zero
+    assert not FaultSchedule(
+        partitions=(PartitionWindow(at=0.2, duration=0.1, groups=((0,), (1,))),)
+    ).is_zero
+
+
+def test_consensus_schedule_round_trips_through_json():
+    import json
+
+    schedule = consensus_schedule()
+    schedule.validate()
+    rebuilt = schedule_from_dict(json.loads(json.dumps(asdict(schedule))))
+    assert rebuilt == schedule
+
+
+def test_overlapping_orderer_crash_windows_rejected():
+    schedule = FaultSchedule(
+        orderer_crashes=(
+            OrdererCrashWindow(node=1, at=0.5, duration=0.5),
+            OrdererCrashWindow(node=1, at=0.8, duration=0.5),
+        ),
+    )
+    with pytest.raises(ConfigError, match="overlapping orderer crash"):
+        schedule.validate()
+    # The same windows on distinct nodes are fine.
+    FaultSchedule(
+        orderer_crashes=(
+            OrdererCrashWindow(node=1, at=0.5, duration=0.5),
+            OrdererCrashWindow(node=2, at=0.8, duration=0.5),
+        ),
+    ).validate()
+
+
+def test_overlapping_partition_windows_rejected():
+    schedule = FaultSchedule(
+        partitions=(
+            PartitionWindow(at=0.5, duration=0.5, groups=((0,), (1, 2))),
+            PartitionWindow(at=0.9, duration=0.5, groups=((0, 1), (2,))),
+        ),
+    )
+    with pytest.raises(ConfigError, match="overlapping partition"):
+        schedule.validate()
+
+
+@pytest.mark.parametrize(
+    "window,message",
+    [
+        (OrdererCrashWindow(node=-1, at=0.5, duration=0.5), "node index"),
+        (OrdererCrashWindow(node=0, at=-0.1, duration=0.5), ">= 0"),
+        (OrdererCrashWindow(node=0, at=0.5, duration=0.0), "> 0"),
+        (PartitionWindow(at=0.5, duration=0.5, groups=()), "two groups"),
+        (PartitionWindow(at=0.5, duration=0.5, groups=((0,),)), "two groups"),
+        (
+            PartitionWindow(at=0.5, duration=0.5, groups=((0,), ())),
+            "non-empty",
+        ),
+        (
+            PartitionWindow(at=0.5, duration=0.5, groups=((0, 1), (1,))),
+            "more than one partition group",
+        ),
+    ],
+)
+def test_malformed_consensus_windows_rejected(window, message):
+    with pytest.raises(ConfigError, match=message):
+        window.validate()
+
+
+def test_validation_error_names_the_offending_window():
+    schedule = FaultSchedule(
+        orderer_crashes=(
+            OrdererCrashWindow(node=0, at=0.1, duration=0.2),
+            OrdererCrashWindow(node=2, at=-1.0, duration=0.2),
+        ),
+        endorsement_timeout=0.05,
+    )
+    with pytest.raises(
+        ConfigError, match=r"orderer_crashes\[1\] \(orderer2@-1.0\+0.2\)"
+    ):
+        schedule.validate()
+
+
+def test_consensus_window_describe_forms():
+    assert (
+        OrdererCrashWindow(node=2, at=0.4, duration=0.6).describe()
+        == "orderer2@0.4+0.6"
+    )
+    assert (
+        PartitionWindow(at=1.0, duration=0.5, groups=((0, 1), (2,))).describe()
+        == "partition@1.0+0.5 [0,1|2]"
+    )

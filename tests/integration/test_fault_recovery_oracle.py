@@ -83,3 +83,50 @@ def test_crash_actually_lost_blocks_before_catch_up():
     work — the run must have replayed blocks during catch-up."""
     result, _network = run_with_crash(seed=3, fabricpp=False)
     assert result.metrics.fault_counters.get("blocks_caught_up", 0) > 0
+
+
+def run_with_double_crash(seed: int):
+    """Two back-to-back outages: the second begins at 0.85, while the
+    peer is typically still replaying blocks it missed during the first
+    (catch-up polls every 0.1s and the first recovery lands at 0.8)."""
+    config = replace(
+        FabricConfig(),
+        batch=BatchCutConfig(max_transactions=64),
+        clients_per_channel=2,
+        client_rate=150.0,
+        seed=seed,
+        endorsement_policy="outof:1",
+        faults=FaultSchedule(
+            crashes=(
+                CrashWindow(peer=CRASHED, at=0.4, duration=0.4),
+                CrashWindow(peer=CRASHED, at=0.85, duration=0.4),
+            ),
+            endorsement_timeout=0.05,
+        ),
+    )
+    workload = WorkloadRef(
+        "smallbank",
+        {"num_users": 400, "prob_write": 0.95, "s_value": 0.0},
+        seed=seed,
+    )
+    spec = ExperimentSpec(
+        config=config, workload=workload, duration=2.0, drain=5.0, label="o2"
+    )
+    return run_experiment_with_network(spec)
+
+
+@pytest.mark.parametrize("seed", [3, 11])
+def test_crash_during_catch_up_still_converges(seed):
+    result, network = run_with_double_crash(seed)
+    assert result.metrics.fault_counters.get("crashes") == 2
+    assert result.metrics.fault_counters.get("recoveries") == 2
+    assert result.metrics.fault_counters.get("blocks_caught_up", 0) > 0
+
+    recovered = network._peer_by_name[CRASHED].channels["ch0"]
+    reference = network.reference_peer.channels["ch0"]
+    assert reference.ledger.height > 0
+    assert recovered.ledger.tip_hash == reference.ledger.tip_hash
+    assert dict(recovered.state.items()) == dict(reference.state.items())
+    assert json.dumps(export_ledger(recovered.ledger), sort_keys=True) == (
+        json.dumps(export_ledger(reference.ledger), sort_keys=True)
+    )

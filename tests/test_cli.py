@@ -402,3 +402,116 @@ def test_profile_command_without_trace_writes_no_files(tmp_path, capsys):
     output = capsys.readouterr().out
     assert "profile summary" in output
     assert "wrote" not in output
+
+
+# -- faults files, replicated ordering, chaos -------------------------------
+
+
+def _schedule_file(tmp_path, schedule):
+    import json
+    from dataclasses import asdict
+
+    path = tmp_path / "faults.json"
+    path.write_text(json.dumps(asdict(schedule)))
+    return str(path)
+
+
+def test_faults_file_round_trips(tmp_path):
+    from repro.faults import CrashWindow, FaultSchedule, StallWindow
+
+    schedule = FaultSchedule(
+        crashes=(CrashWindow("peer1.OrgA", 0.5, 0.7),),
+        stalls=(StallWindow(1.0, 0.2),),
+        drop_probability=0.02,
+        endorsement_timeout=0.1,
+    )
+    config = config_from_args(
+        parse(["run", "--faults-file", _schedule_file(tmp_path, schedule)])
+    )
+    assert config.faults == schedule
+
+
+def test_partial_faults_file_gets_default_deadline(tmp_path):
+    import json
+
+    path = tmp_path / "partial.json"
+    path.write_text(
+        json.dumps(
+            {"crashes": [{"peer": "peer1.OrgA", "at": 0.5, "duration": 0.7}]}
+        )
+    )
+    config = config_from_args(parse(["run", "--faults-file", str(path)]))
+    # Same defaulting as the inline --crash flag: a deadline is filled in
+    # so clients facing a dead endorser cannot hang.
+    assert config.faults.endorsement_timeout > 0
+    config.validate()
+
+
+def test_faults_file_conflicts_with_inline_flags(capsys):
+    exit_code = main(
+        ["run", "--faults-file", "x.json", "--crash", "peer1.OrgA@0.5+0.7",
+         "--duration", "1"]
+    )
+    assert exit_code == 2
+    assert "--faults-file cannot be combined" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize(
+    "content", ["{not json", '["list"]', '{"crashes": [{"bogus": 1}]}']
+)
+def test_bad_faults_file_is_a_clean_error(tmp_path, capsys, content):
+    path = tmp_path / "bad.json"
+    path.write_text(content)
+    exit_code = main(["run", "--faults-file", str(path), "--duration", "1"])
+    assert exit_code == 2
+    assert str(path) in capsys.readouterr().err
+
+
+def test_missing_faults_file_is_a_clean_error(tmp_path, capsys):
+    path = str(tmp_path / "nope.json")
+    exit_code = main(["run", "--faults-file", path, "--duration", "1"])
+    assert exit_code == 2
+    assert path in capsys.readouterr().err
+
+
+def test_orderer_nodes_flag_forwarded():
+    config = config_from_args(parse(["run", "--orderer-nodes", "3"]))
+    assert config.orderer_nodes == 3
+    assert config_from_args(parse(["run"])).orderer_nodes == 1
+
+
+def test_orderer_nodes_is_sweepable():
+    from repro.cli import SWEEPABLE
+
+    assert "orderer-nodes" in SWEEPABLE
+
+
+def test_run_command_with_replicated_orderer(capsys):
+    exit_code = main(
+        ["run", "--workload", "smallbank", "--users", "200", "--clients", "2",
+         "--client-rate", "80", "--duration", "1", "--drain", "3",
+         "--block-size", "32", "--orderer-nodes", "3"]
+    )
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "consensus" in output
+
+
+def test_chaos_command_end_to_end(tmp_path, capsys):
+    import json
+
+    report = tmp_path / "chaos.json"
+    exit_code = main(
+        ["chaos", "--seeds", "2", "--duration", "1.2", "--drain", "4",
+         "--report", str(report)]
+    )
+    output = capsys.readouterr().out
+    assert exit_code == 0
+    assert "PASS" in output
+    assert "2/2 seeds passed" in output
+    payload = json.loads(report.read_text())
+    assert payload["passed"] == 2 and payload["failed"] == 0
+    assert len(payload["runs"]) == 2
+    for run in payload["runs"]:
+        assert all(run["invariants"].values())
+        assert run["liveness"] and run["converged"]
