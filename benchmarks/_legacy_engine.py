@@ -1,0 +1,364 @@
+"""FROZEN pre-overhaul engine snapshot — the bench_engine.py baseline.
+
+This is a verbatim copy of ``repro.sim.engine`` as it stood before the
+fast-path scheduler rewrite (PR 6). ``benchmarks/bench_engine.py`` runs
+the same pure-DES workload on this snapshot and on the live engine to
+produce the tracked events/sec speedup trajectory in ``BENCH_engine.json``.
+
+Do not "fix" or modernise this file: its whole value is that it never
+changes, so every future engine optimisation is measured against the
+same baseline.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Generator, List, Optional
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """Something that will happen at a point in simulated time.
+
+    Callbacks attached via :meth:`add_callback` run when the event fires.
+    An event fires at most once; ``succeed``/``fail`` schedule it for the
+    current instant.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_exception", "triggered", "processed")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: object = None
+        self._exception: Optional[BaseException] = None
+        self.triggered = False
+        self.processed = False
+
+    @property
+    def value(self) -> object:
+        """The value the event fired with."""
+        return self._value
+
+    def succeed(self, value: object = None) -> "Event":
+        """Schedule this event to fire now with ``value``."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self.triggered = True
+        self._value = value
+        self.env._schedule(self, delay=0.0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Schedule this event to fire now by raising ``exception``."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self.triggered = True
+        self._exception = exception
+        self.env._schedule(self, delay=0.0)
+        return self
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self.processed = True
+        for callback in callbacks or ():
+            callback(self)
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Attach ``callback``; runs immediately if already processed."""
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", delay: float, value: object = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.triggered = True
+        self._value = value
+        env._schedule(self, delay=delay)
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted."""
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """A running generator; fires (as an event) when the generator ends."""
+
+    __slots__ = ("_generator", "_waiting_on", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(env)
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Kick off the process at the current instant.
+        bootstrap = Event(env)
+        bootstrap.succeed()
+        bootstrap.add_callback(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The event the process was waiting on is detached; it may still
+        fire later but will no longer resume this process.
+        """
+        if self.triggered:
+            return
+        waiting_on = self._waiting_on
+        if waiting_on is not None and waiting_on.callbacks is not None:
+            try:
+                waiting_on.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+        self._waiting_on = None
+        poke = Event(self.env)
+        poke.succeed()
+        poke.add_callback(lambda _event: self._throw(Interrupt(cause)))
+
+    def _throw(self, exc: BaseException) -> None:
+        if self.triggered:
+            return
+        try:
+            target = self._generator.throw(exc)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as error:
+            self.fail(error)
+            return
+        self._wait_on(target)
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        try:
+            if event._exception is not None:
+                target = self._generator.throw(event._exception)
+            else:
+                target = self._generator.send(event._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as error:
+            self.fail(error)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: object) -> None:
+        # Misuse (yielding a non-event or a foreign event) is thrown back
+        # into the generator; if it does not handle the error, the process
+        # fails like any other uncaught exception.
+        while True:
+            if isinstance(target, Event) and target.env is self.env:
+                break
+            if isinstance(target, Event):
+                error = SimulationError(
+                    "event belongs to a different environment"
+                )
+            else:
+                error = SimulationError(
+                    f"process yielded a non-event: {target!r}"
+                )
+            try:
+                target = self._generator.throw(error)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except BaseException as raised:
+                self.fail(raised)
+                return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class Environment:
+    """The simulation clock and event queue."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: List[tuple] = []
+        self._sequence = 0
+        self._trace_hook: Optional[Callable[[float, Event], None]] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def set_trace_hook(
+        self, hook: Optional[Callable[[float, Event], None]]
+    ) -> None:
+        """Install an observer called as ``hook(time, event)`` for every
+        processed event. Observation only: the hook must not schedule
+        events or mutate simulation state, so a hooked run is bit-identical
+        to an unhooked one."""
+        self._trace_hook = hook
+
+    def _schedule(self, event: Event, delay: float) -> None:
+        self._sequence += 1
+        heapq.heappush(self._queue, (self._now + delay, self._sequence, event))
+
+    # -- factory helpers -----------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: object = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        """Start ``generator`` as a process."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: List[Event]) -> Event:
+        """Return an event that fires once every event in ``events`` has."""
+        gate = self.event()
+        pending = len(events)
+        if pending == 0:
+            gate.succeed([])
+            return gate
+        results: List[object] = [None] * pending
+        remaining = [pending]
+
+        def make_callback(index: int) -> Callable[[Event], None]:
+            def callback(event: Event) -> None:
+                if gate.triggered:
+                    return
+                if event._exception is not None:
+                    # One member failed: the join fails with its error.
+                    gate.fail(event._exception)
+                    return
+                results[index] = event.value
+                remaining[0] -= 1
+                if remaining[0] == 0:
+                    gate.succeed(list(results))
+
+            return callback
+
+        for index, event in enumerate(events):
+            event.add_callback(make_callback(index))
+        return gate
+
+    def any_of(self, events: List[Event]) -> Event:
+        """Return an event that fires with (index, value) of the first
+        event in ``events`` to fire; later firings are ignored."""
+        gate = self.event()
+
+        def make_callback(index: int) -> Callable[[Event], None]:
+            def callback(event: Event) -> None:
+                if not gate.triggered:
+                    gate.succeed((index, event.value))
+
+            return callback
+
+        if not events:
+            raise SimulationError("any_of() requires at least one event")
+        for index, event in enumerate(events):
+            event.add_callback(make_callback(index))
+        return gate
+
+    # -- execution -----------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        time, _seq, event = heapq.heappop(self._queue)
+        self._now = time
+        if self._trace_hook is not None:
+            self._trace_hook(time, event)
+        event._run_callbacks()
+        if event._exception is not None and not isinstance(event, Process):
+            # Failed plain events with no handler would vanish silently;
+            # processes propagate failures to their waiters instead.
+            pass
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or simulated time reaches ``until``."""
+        if until is not None and until < self._now:
+            raise SimulationError("cannot run into the past")
+        while self._queue:
+            next_time = self._queue[0][0]
+            if until is not None and next_time > until:
+                self._now = until
+                return
+            self.step()
+        if until is not None:
+            self._now = until
+
+    def peek(self) -> float:
+        """Time of the next event, or +inf if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+
+class Resource:
+    """Pre-overhaul counting semaphore (verbatim), for the baseline
+    workload — the live ``repro.sim.resources.Resource`` now leans on
+    new-engine internals and cannot run against this snapshot."""
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: List[tuple] = []
+        self._sequence = 0
+        self._busy_integral = 0.0
+        self._busy_marked_at = env.now
+
+    def _mark_occupancy(self) -> None:
+        now = self.env.now
+        self._busy_integral += self._in_use * (now - self._busy_marked_at)
+        self._busy_marked_at = now
+
+    def request(self, priority: int = 0) -> Event:
+        grant = self.env.event()
+        if self._in_use < self.capacity:
+            self._mark_occupancy()
+            self._in_use += 1
+            grant.succeed()
+        else:
+            self._sequence += 1
+            heapq.heappush(self._waiters, (priority, self._sequence, grant))
+        return grant
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError("release() without a matching request()")
+        if self._waiters:
+            _, _, grant = heapq.heappop(self._waiters)
+            grant.succeed()
+        else:
+            self._mark_occupancy()
+            self._in_use -= 1
+
+    def use(self, duration: float, priority: int = 0) -> Generator:
+        yield self.request(priority)
+        try:
+            yield self.env.timeout(duration)
+        finally:
+            self.release()

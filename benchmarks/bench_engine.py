@@ -1,0 +1,352 @@
+"""Engine wall-clock benchmark: the caliper smoke workload on the live
+DES engine vs the frozen pre-overhaul snapshot.
+
+The workload distils the paper's Caliper run (Table 8: 150 proposals/s
+per client, 600 total, block size 512) into a pure-DES pipeline — open-
+loop clients firing endorsement fan-outs across four peers with
+capacity-2 CPUs, a batch cutter (512 tx or 0.5 s), and per-peer block
+validation resolving per-tx commit gates. It exercises every hot engine
+path in realistic proportion: sleeps, resource grants/handoffs, process
+fan-out, AllOf joins, and same-instant succeed chains.
+
+The baseline engine is ``benchmarks/_legacy_engine.py`` — a verbatim
+snapshot of ``repro.sim`` before the fast-path rewrite, including its
+``Resource``. Each engine runs the scenario in its idiomatic spelling
+(the live engine uses bare-delay sleeps, the snapshot ``env.timeout``);
+a hooked verification pass asserts both dispatch the *same number of
+events* and commit the *same transactions*, so the wall-clock ratio
+compares engines, not workloads.
+
+Metrics (written to ``BENCH_engine.json``): events/sec, simulated
+committed-tx/sec of real CPU, allocations/event, and the live/baseline
+speedup. CI fails when the speedup regresses more than 20% against the
+committed baseline file (the ratio is machine-independent; absolute
+events/sec are not).
+
+Environment knobs: ``REPRO_BENCH_ENGINE_RUNS`` (best-of, default 9),
+``REPRO_BENCH_ENGINE_DURATION`` (simulated fire seconds, default 10).
+
+Usage::
+
+    PYTHONPATH=src:benchmarks python benchmarks/bench_engine.py \
+        --json BENCH_engine.json            # measure + write
+    PYTHONPATH=src:benchmarks python benchmarks/bench_engine.py \
+        --check BENCH_engine.json           # measure + compare (CI gate)
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import platform
+import sys
+import time
+
+import _legacy_engine as legacy
+
+from repro.sim import engine as live
+from repro.sim.resources import Resource as LiveResource
+
+#: Caliper smoke scenario (Table 8 shape): 4 clients x 150 proposals/s.
+CLIENTS = 4
+RATE = 150.0
+PEERS = 4
+BLOCK_SIZE = 512
+BATCH_TIMER = 0.5
+DURATION = float(os.environ.get("REPRO_BENCH_ENGINE_DURATION", "10.0"))
+DRAIN = 5.0
+RUNS = int(os.environ.get("REPRO_BENCH_ENGINE_RUNS", "9"))
+
+#: CI gate: fail when the speedup drops below this fraction of the
+#: committed baseline's speedup.
+REGRESSION_TOLERANCE = 0.80
+
+
+def build_live(env):
+    """The scenario in the live engine's idiom: bare-delay sleeps, the
+    live ``Resource``. Keep in lockstep with :func:`build_baseline` —
+    the verification pass asserts both produce identical event counts.
+    """
+    cpus = [LiveResource(env, capacity=2) for _ in range(PEERS)]
+    val_cpus = [LiveResource(env, capacity=2) for _ in range(PEERS)]
+    batch, stats = [], {"committed": 0}
+
+    def endorse(p):
+        yield 0.0005  # proposal network hop
+        yield cpus[p].request(priority=1)
+        yield 0.0002  # chaincode simulation on the peer CPU
+        cpus[p].release()
+        yield 0.0005  # endorsement reply hop
+        return p
+
+    def deliver(p, block):
+        yield 0.001  # block broadcast hop
+        yield val_cpus[p].request()
+        yield 0.0001 * len(block)  # per-tx validation work
+        val_cpus[p].release()
+        if p == 0:
+            for done in block:
+                done.succeed()
+            stats["committed"] += len(block)
+
+    def cut(block):
+        yield 0.002  # ordering latency
+        for p in range(PEERS):
+            env.process(deliver(p, block))
+
+    def submit():
+        yield env.all_of([env.process(endorse(p)) for p in range(PEERS)])
+        yield 0.001  # broadcast to the orderer
+        done = env.event()
+        batch.append(done)
+        if len(batch) >= BLOCK_SIZE:
+            block, batch[:] = list(batch), []
+            env.process(cut(block))
+        yield done
+
+    def cutter():
+        while True:
+            yield BATCH_TIMER
+            if batch:
+                block, batch[:] = list(batch), []
+                env.process(cut(block))
+
+    def fire_loop():
+        period = 1.0 / RATE
+        while env.now < DURATION:
+            env.process(submit())
+            yield period
+
+    for _ in range(CLIENTS):
+        env.process(fire_loop())
+    env.process(cutter())
+    return stats
+
+
+def build_baseline(env):
+    """The identical scenario in the pre-overhaul idiom: ``env.timeout``
+    sleeps and the snapshot ``Resource``."""
+    cpus = [legacy.Resource(env, capacity=2) for _ in range(PEERS)]
+    val_cpus = [legacy.Resource(env, capacity=2) for _ in range(PEERS)]
+    batch, stats = [], {"committed": 0}
+
+    def endorse(p):
+        yield env.timeout(0.0005)
+        yield cpus[p].request(priority=1)
+        yield env.timeout(0.0002)
+        cpus[p].release()
+        yield env.timeout(0.0005)
+        return p
+
+    def deliver(p, block):
+        yield env.timeout(0.001)
+        yield val_cpus[p].request()
+        yield env.timeout(0.0001 * len(block))
+        val_cpus[p].release()
+        if p == 0:
+            for done in block:
+                done.succeed()
+            stats["committed"] += len(block)
+
+    def cut(block):
+        yield env.timeout(0.002)
+        for p in range(PEERS):
+            env.process(deliver(p, block))
+
+    def submit():
+        yield env.all_of([env.process(endorse(p)) for p in range(PEERS)])
+        yield env.timeout(0.001)
+        done = env.event()
+        batch.append(done)
+        if len(batch) >= BLOCK_SIZE:
+            block, batch[:] = list(batch), []
+            env.process(cut(block))
+        yield done
+
+    def cutter():
+        while True:
+            yield env.timeout(BATCH_TIMER)
+            if batch:
+                block, batch[:] = list(batch), []
+                env.process(cut(block))
+
+    def fire_loop():
+        period = 1.0 / RATE
+        while env.now < DURATION:
+            env.process(submit())
+            yield env.timeout(period)
+
+    for _ in range(CLIENTS):
+        env.process(fire_loop())
+    env.process(cutter())
+    return stats
+
+
+def verify(module, builder):
+    """Hooked run: dispatched-event count + committed tx (for the
+    cross-engine equality assertion)."""
+    env = module.Environment()
+    stats = builder(env)
+    count = [0]
+
+    def hook(_time, _event):
+        count[0] += 1
+
+    env.set_trace_hook(hook)
+    env.run(until=DURATION + DRAIN)
+    return count[0], stats["committed"]
+
+
+def timed_run(module, builder):
+    """One unhooked wall-time sample (GC off, like-for-like)."""
+    env = module.Environment()
+    builder(env)
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        env.run(until=DURATION + DRAIN)
+        return time.perf_counter() - start
+    finally:
+        gc.enable()
+
+
+def count_allocations(module, builder):
+    """Event-object allocations (Event/Timeout/Process and subclasses)
+    over one run, counted via a patched ``Event.__new__``.
+
+    This is the metric the pooling/bare-delay work drives toward zero:
+    the baseline allocates an event object per scheduled occurrence,
+    the live engine only for gates, grants, combinators, and processes
+    — pooled timeouts and bare-delay sleeps allocate nothing.
+    """
+    counter = [0]
+
+    def counting_new(cls, *_args, **_kwargs):
+        counter[0] += 1
+        return object.__new__(cls)
+
+    module.Event.__new__ = counting_new
+    try:
+        env = module.Environment()
+        builder(env)
+        env.run(until=DURATION + DRAIN)
+    finally:
+        del module.Event.__new__
+    return counter[0]
+
+
+def run_benchmark():
+    live_events, live_tx = verify(live, build_live)
+    base_events, base_tx = verify(legacy, build_baseline)
+    if live_events != base_events or live_tx != base_tx:
+        raise SystemExit(
+            f"engine divergence: live {live_events} events/{live_tx} tx, "
+            f"baseline {base_events} events/{base_tx} tx"
+        )
+
+    # Interleave the timed samples so machine-load drift during the
+    # benchmark hits both engines alike; keep the best of each.
+    base_wall = live_wall = None
+    for _ in range(RUNS):
+        sample = timed_run(legacy, build_baseline)
+        base_wall = sample if base_wall is None else min(base_wall, sample)
+        sample = timed_run(live, build_live)
+        live_wall = sample if live_wall is None else min(live_wall, sample)
+
+    base_blocks = count_allocations(legacy, build_baseline)
+    live_blocks = count_allocations(live, build_live)
+
+    def side(events, tx, wall, blocks):
+        return {
+            "wall_seconds": round(wall, 6),
+            "events_per_sec": round(events / wall, 1),
+            "sim_tx_per_cpu_sec": round(tx / wall, 1),
+            "allocations_per_event": round(blocks / events, 4),
+        }
+
+    report = {
+        "workload": "caliper-smoke",
+        "params": {
+            "clients": CLIENTS,
+            "rate_per_client": RATE,
+            "peers": PEERS,
+            "block_size": BLOCK_SIZE,
+            "batch_timer": BATCH_TIMER,
+            "duration": DURATION,
+            "drain": DRAIN,
+            "runs": RUNS,
+        },
+        "events": live_events,
+        "committed_tx": live_tx,
+        "baseline": side(base_events, base_tx, base_wall, base_blocks),
+        "engine": side(live_events, live_tx, live_wall, live_blocks),
+        "speedup_events_per_sec": round(base_wall / live_wall, 3),
+        "python": platform.python_version(),
+    }
+    return report
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json", metavar="PATH", help="write the report to PATH"
+    )
+    parser.add_argument(
+        "--check",
+        metavar="BASELINE",
+        help="compare the measured speedup against a committed report; "
+        f"fail below {REGRESSION_TOLERANCE:.0%} of its speedup",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_benchmark()
+    base = report["baseline"]
+    eng = report["engine"]
+    print(
+        f"caliper-smoke: {report['events']} events, "
+        f"{report['committed_tx']} committed tx"
+    )
+    print(
+        f"  baseline: {base['events_per_sec']:>12,.0f} events/s  "
+        f"{base['sim_tx_per_cpu_sec']:>8,.0f} tx/s  "
+        f"{base['allocations_per_event']:>7.3f} allocs/event  "
+        f"({base['wall_seconds'] * 1e3:.0f} ms)"
+    )
+    print(
+        f"  engine:   {eng['events_per_sec']:>12,.0f} events/s  "
+        f"{eng['sim_tx_per_cpu_sec']:>8,.0f} tx/s  "
+        f"{eng['allocations_per_event']:>7.3f} allocs/event  "
+        f"({eng['wall_seconds'] * 1e3:.0f} ms)"
+    )
+    print(f"  speedup: {report['speedup_events_per_sec']:.2f}x events/sec")
+
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+
+    if args.check:
+        with open(args.check) as handle:
+            committed = json.load(handle)
+        committed_speedup = committed["speedup_events_per_sec"]
+        floor = committed_speedup * REGRESSION_TOLERANCE
+        measured = report["speedup_events_per_sec"]
+        print(
+            f"check: measured {measured:.2f}x vs committed "
+            f"{committed_speedup:.2f}x (floor {floor:.2f}x)"
+        )
+        if measured < floor:
+            raise SystemExit(
+                f"engine speed regression: {measured:.2f}x < {floor:.2f}x "
+                f"({REGRESSION_TOLERANCE:.0%} of committed "
+                f"{committed_speedup:.2f}x)"
+            )
+        print("check: OK")
+
+
+if __name__ == "__main__":
+    main()

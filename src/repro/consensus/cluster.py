@@ -154,7 +154,7 @@ class OrdererCluster:
     def _deliver(self, sender, receiver, dispatch):
         consensus = self.config.consensus
         if consensus.message_delay > 0:
-            yield self.env.timeout(consensus.message_delay)
+            yield consensus.message_delay
         if (
             sender.crashed
             or receiver.crashed

@@ -141,7 +141,7 @@ class RaftReplica:
             wait = self._election_deadline - self.env.now
             if wait <= 0:  # pragma: no cover - deadline always reset ahead
                 return
-            yield self.env.timeout(wait)
+            yield wait  # bare-delay sleep
 
     def _heartbeat_loop(self, epoch: int):
         interval = self.group.config.consensus.heartbeat_interval
@@ -151,7 +151,7 @@ class RaftReplica:
             and not self.node.crashed
         ):
             self._broadcast_append()
-            yield self.env.timeout(interval)
+            yield interval
 
     # -- elections -----------------------------------------------------------
 

@@ -128,7 +128,7 @@ class ReplicatedOrderingService:
     def _maybe_stall(self) -> Generator:
         for window in self._stall_windows:
             if window.at <= self.env.now < window.until:
-                yield self.env.timeout(window.until - self.env.now)
+                yield window.until - self.env.now
 
     def _receiver(self) -> Generator:
         while True:
@@ -151,7 +151,7 @@ class ReplicatedOrderingService:
     def _batch_timer(self, generation: int, deadline: Optional[float]) -> Generator:
         if deadline is None:  # pragma: no cover - defensive
             return
-        yield self.env.timeout(max(0.0, deadline - self.env.now))
+        yield max(0.0, deadline - self.env.now)
         # Same contract as the single orderer: never cut mid-stall, and a
         # size cut racing the timeout during the stall wins (generation).
         yield from self._maybe_stall()

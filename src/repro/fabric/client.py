@@ -101,7 +101,7 @@ class Client:
         next_fire = self.env.now
         while not self._stopped:
             if self.env.now < next_fire:
-                yield self.env.timeout(next_fire - self.env.now)
+                yield next_fire - self.env.now  # bare-delay sleep
             if self._stopped:
                 return
             if self._in_flight >= self.config.client_window:
@@ -151,11 +151,11 @@ class Client:
         endorsers = self._pick_endorsers()
         # Ship the proposal to the endorsers (one network hop) and gather
         # their replies in parallel.
-        yield self.env.timeout(costs.net_message)
+        yield costs.net_message
         replies: List[EndorseReply] = yield self.env.all_of(
             [peer.endorse(self.channel, proposal) for peer in endorsers]
         )
-        yield self.env.timeout(costs.net_message)
+        yield costs.net_message
         if tracer is not None:
             # One proposal hop out plus one endorsement hop back per
             # contacted endorser.
@@ -209,7 +209,7 @@ class Client:
         self._register_pending(
             transaction.tx_id, self, proposal.submitted_at, retries
         )
-        yield self.env.timeout(costs.net_message)
+        yield costs.net_message
         if tracer is not None:
             tracer.charge("network", costs.net_message)
         self.orderer.submit(transaction)
@@ -245,8 +245,9 @@ class Client:
             ]
             gate = self.env.all_of(asks)
             deadline = self.env.timeout(schedule.endorsement_timeout)
-            index, _ = yield self.env.any_of([gate, deadline])
-            if index == 0:
+            race = gate | deadline
+            yield race
+            if race.first_event is gate:
                 replies: List[EndorseReply] = [
                     reply for reply in gate.value if reply is not None
                 ]
@@ -294,7 +295,7 @@ class Client:
                 self._register_pending(
                     transaction.tx_id, self, proposal.submitted_at, retries
                 )
-                yield self.env.timeout(costs.net_message)
+                yield costs.net_message
                 if self.tracer is not None:
                     self.tracer.charge("network", costs.net_message)
                 self.orderer.submit(transaction)
@@ -309,7 +310,7 @@ class Client:
                     backoff *= (
                         1.0 + schedule.retry_backoff_jitter * self.fault_rng.random()
                     )
-                yield self.env.timeout(backoff)
+                yield backoff  # bare-delay sleep
 
         self.faults.record("endorsements_failed")
         self.resolve(proposal, TxOutcome.ENDORSEMENT_TIMEOUT, retries=retries)
@@ -327,9 +328,9 @@ class Client:
         schedule = self.config.faults
         delay = self.faults.message_delay(costs.net_message)
         if delay is None:
-            yield self.env.timeout(schedule.endorsement_timeout)
+            yield schedule.endorsement_timeout  # sleep past the deadline
             return None
-        yield self.env.timeout(delay)
+        yield delay
         if self.tracer is not None:
             self.tracer.charge("network", delay)
         reply = yield peer.endorse(self.channel, proposal)
@@ -338,9 +339,9 @@ class Client:
             return None
         back = self.faults.message_delay(costs.net_message)
         if back is None:
-            yield self.env.timeout(schedule.endorsement_timeout)
+            yield schedule.endorsement_timeout  # sleep past the deadline
             return None
-        yield self.env.timeout(back)
+        yield back
         if self.tracer is not None:
             self.tracer.charge("network", back)
         return reply

@@ -224,7 +224,7 @@ class FabricNetwork:
         tracer = self.tracer
 
         def deliver(peer: Peer, delay: float):
-            yield self.env.timeout(delay)
+            yield delay  # bare-delay sleep
             if tracer is not None:
                 tracer.charge("network", delay)
                 tracer.instant(
@@ -254,7 +254,7 @@ class FabricNetwork:
             while True:
                 delay = self.faults.message_delay(base)
                 if delay is not None:
-                    yield self.env.timeout(delay)
+                    yield delay  # bare-delay sleep
                     if tracer is not None:
                         tracer.charge("network", delay)
                         tracer.instant(
@@ -266,7 +266,7 @@ class FabricNetwork:
                         )
                     peer.deliver_block(channel, block)
                     return
-                yield self.env.timeout(redelivery)
+                yield redelivery
 
         for org_peers in self._gossip_order.values():
             for position, peer in enumerate(org_peers):
@@ -352,7 +352,7 @@ class FabricNetwork:
                 if self.faults is not None:
                     self.faults.log_event("catchup_complete", f"{peer.name}/{channel}")
                 return
-            yield self.env.timeout(poll)
+            yield poll
 
     def _register_pending(
         self, tx_id: str, client: Client, submitted_at: float, retries: int = 0
@@ -397,7 +397,7 @@ class FabricNetwork:
             client.start()
 
         def stop_clients():
-            yield self.env.timeout(duration)
+            yield duration
             for client in self.clients:
                 client.stop()
 

@@ -92,7 +92,7 @@ class OrderingService:
         """
         for window in self._stall_windows:
             if window.at <= self.env.now < window.until:
-                yield self.env.timeout(window.until - self.env.now)
+                yield window.until - self.env.now
 
     def _receiver(self) -> Generator:
         while True:
@@ -116,7 +116,7 @@ class OrderingService:
     def _batch_timer(self, generation: int, deadline: Optional[float]) -> Generator:
         if deadline is None:  # pragma: no cover - defensive
             return
-        yield self.env.timeout(max(0.0, deadline - self.env.now))
+        yield max(0.0, deadline - self.env.now)
         # A timer that expires inside a stall window must not cut
         # mid-stall: wait the stall out first, and only then decide. If a
         # size cut raced us during the stall, the generation moved on and

@@ -199,7 +199,7 @@ class Peer:
                 # its execution; the rwset is fixed from this instant on.
                 stub = ChaincodeStub(pcs.state, start_block_id=None)
                 chaincode.invoke(stub, proposal.function, proposal.args)
-                yield self.env.timeout(execution_time)
+                yield execution_time  # bare-delay sleep
                 if tracer is not None:
                     tracer.charge("logic", execution_time, count=stub.operations)
                 if self.crashed:
@@ -236,7 +236,7 @@ class Peer:
                 rwset = stub.rwset
                 if self.byzantine_rwset_hook is not None:
                     rwset = self.byzantine_rwset_hook(rwset)
-                yield self.env.timeout(costs.endorse_sign * self.speed_factor)
+                yield costs.endorse_sign * self.speed_factor
                 if tracer is not None:
                     tracer.charge(
                         "sign", costs.endorse_sign * self.speed_factor

@@ -502,32 +502,32 @@ class FaultInjector:
             )
 
     def _crash_process(self, network, window: CrashWindow):
-        yield self.env.timeout(window.at)
+        yield window.at  # bare-delay sleep until the window opens
         network.crash_peer(window.peer)
-        yield self.env.timeout(window.duration)
+        yield window.duration
         network.recover_peer(window.peer)
 
     def _stall_logger(self, window: StallWindow):
-        yield self.env.timeout(window.at)
+        yield window.at  # bare-delay sleep until the window opens
         self.record("orderer_stalls")
         self.log_event("stall_begin", "orderer")
-        yield self.env.timeout(window.duration)
+        yield window.duration
         self.log_event("stall_end", "orderer")
 
     def _orderer_crash_process(self, network, window: OrdererCrashWindow):
-        yield self.env.timeout(window.at)
+        yield window.at  # bare-delay sleep until the window opens
         self.record("orderer_crashes")
         self.log_event("orderer_crash", f"orderer{window.node}")
         network.crash_orderer(window.node)
-        yield self.env.timeout(window.duration)
+        yield window.duration
         self.log_event("orderer_recover", f"orderer{window.node}")
         network.recover_orderer(window.node)
 
     def _partition_process(self, network, window: PartitionWindow):
-        yield self.env.timeout(window.at)
+        yield window.at  # bare-delay sleep until the window opens
         self.record("partitions")
         self.log_event("partition_begin", window.describe())
         network.set_partition(window.groups)
-        yield self.env.timeout(window.duration)
+        yield window.duration
         self.log_event("partition_heal", "orderers")
         network.heal_partition()

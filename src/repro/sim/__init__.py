@@ -10,22 +10,46 @@ Figure 11 scaling experiments.
 
 The design follows the classic process-interaction style (as popularised by
 SimPy) but is implemented from scratch and trimmed to what the Fabric
-simulation needs: events, timeouts, processes, FIFO resources, and stores.
+simulation needs: events, timeouts, processes, combinators, FIFO resources,
+and stores.
+
+This module is the *stable public surface* of the engine: import from
+``repro.sim``, not from the submodules. Waiting on several events at once
+goes through the combinators — ``yield env.all_of(events)`` /
+``yield gate | deadline`` — never through manual callback wiring; names not
+exported here (``Environment._schedule``, the heap layout, the timeout
+pool) are private and may change without notice. See ``docs/engine.md``
+for the scheduler internals and the migration guide from raw callbacks.
 """
 
-from repro.sim.engine import Environment, Event, Interrupt, Process, Timeout
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    Timeout,
+)
 from repro.sim.resources import Resource, RWLock, Store
-from repro.sim.distributions import Rng, ZipfSampler
+from repro.sim.distributions import Rng, ZipfSampler, mix_seed
 
 __all__ = [
+    # engine
     "Environment",
     "Event",
     "Interrupt",
     "Process",
     "Timeout",
+    # combinators
+    "AllOf",
+    "AnyOf",
+    # resources
     "Resource",
     "RWLock",
     "Store",
+    # distributions
     "Rng",
     "ZipfSampler",
+    "mix_seed",
 ]

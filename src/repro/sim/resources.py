@@ -76,12 +76,29 @@ class Resource:
         The caller owns the slot once the event fires and must call
         :meth:`release` when done (or use :meth:`use`).
         """
-        grant = self.env.event()
+        # Grant construction and (on the uncontended path) its succeed()
+        # are inlined — request/release dominate the modelled pipelines,
+        # and resources live inside repro.sim, so they may touch Event
+        # internals.
+        env = self.env
+        grant = Event.__new__(Event)
+        grant.env = env
+        grant._proc = None
+        grant._cb = None
+        grant._cbs = None
+        grant._value = None
+        grant._exception = None
+        grant.processed = False
         if self._in_use < self.capacity:
-            self._mark_occupancy()
-            self._in_use += 1
-            grant.succeed()
+            in_use = self._in_use
+            now = env.now
+            self._busy_integral += in_use * (now - self._busy_marked_at)
+            self._busy_marked_at = now
+            self._in_use = in_use + 1
+            grant.triggered = True
+            env._pending.append(grant)
         else:
+            grant.triggered = False
             self._sequence += 1
             heapq.heappush(self._waiters, (priority, self._sequence, grant))
         return grant
@@ -92,9 +109,12 @@ class Resource:
             raise SimulationError("release() without a matching request()")
         if self._waiters:
             # Hand the slot straight to the next waiter; _in_use is
-            # unchanged because ownership transfers.
-            _, _, grant = heapq.heappop(self._waiters)
-            grant.succeed()
+            # unchanged because ownership transfers. The grant is a
+            # private, untriggered event, so succeed() is inlined
+            # without the already-triggered guard.
+            grant = heapq.heappop(self._waiters)[2]
+            grant.triggered = True
+            self.env._pending.append(grant)
         else:
             self._mark_occupancy()
             self._in_use -= 1
@@ -108,7 +128,8 @@ class Resource:
         """
         yield self.request(priority)
         try:
-            yield self.env.timeout(duration)
+            # Bare-delay sleep: same scheduling position as a timeout.
+            yield duration
         finally:
             self.release()
 

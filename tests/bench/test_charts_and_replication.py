@@ -69,10 +69,11 @@ def test_any_of_fires_with_first():
     results = []
 
     def proc():
-        index, value = yield env.any_of(
+        race = env.any_of(
             [env.timeout(5, value="slow"), env.timeout(1, value="fast")]
         )
-        results.append((env.now, index, value))
+        value = yield race
+        results.append((env.now, race.first_index, value))
 
     env.process(proc())
     env.run()

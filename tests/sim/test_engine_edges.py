@@ -11,12 +11,66 @@ def test_process_yielding_non_event_fails_process():
     env = Environment()
 
     def bad():
-        yield 42  # not an event
+        yield "not an event"  # bare numbers are sleeps; this is not one
 
     handle = env.process(bad())
     env.run()
     assert handle.triggered
     assert handle._exception is not None
+
+
+def test_bare_number_yield_is_a_sleep():
+    env = Environment()
+    log = []
+
+    def proc():
+        yield 2.5  # float sleep
+        log.append(env.now)
+        yield 2  # int sleep
+        log.append(env.now)
+        yield 0  # zero-delay sleep: same instant, after pending events
+        log.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert log == [2.5, 4.5, 4.5]
+
+
+def test_negative_bare_delay_fails_process():
+    env = Environment()
+
+    def bad():
+        yield -1.0
+
+    handle = env.process(bad())
+    env.run()
+    assert handle.triggered
+    assert isinstance(handle._exception, SimulationError)
+
+
+def test_interrupt_during_bare_delay_sleep():
+    env = Environment()
+    log = []
+
+    def victim():
+        try:
+            yield 100.0
+        except Interrupt as interrupt:
+            log.append((env.now, interrupt.cause))
+            yield 1.0
+            log.append((env.now, "continued"))
+
+    handle = env.process(victim())
+
+    def attacker():
+        yield 2.0
+        handle.interrupt("preempted")
+
+    env.process(attacker())
+    env.run()
+    # The stale wakeup at t=100 must not resume the victim a second time.
+    assert log == [(2.0, "preempted"), (3.0, "continued")]
+    assert not handle.is_alive
 
 
 def test_cross_environment_event_fails_process():
