@@ -43,7 +43,11 @@ from repro.bench.spec import ExperimentSpec
 #: 3: metrics snapshots may carry a "consensus" key, and configs gained
 #: orderer_nodes plus the nested ConsensusConfig timing knobs (also in
 #: the key via config_to_dict).
-CACHE_FORMAT = 3
+#: 4: metrics snapshots may carry an "overload" key, and configs gained
+#: the nested traffic (ArrivalProcess) and backpressure
+#: (BackpressureConfig) knobs plus FaultSchedule.misbehaviors (all in
+#: the key via config_to_dict).
+CACHE_FORMAT = 4
 
 #: Default cache directory, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"

@@ -17,9 +17,15 @@ from typing import Dict, Iterable, Iterator, List, Optional, Union
 
 from repro.core.batch_cutter import BatchCutConfig
 from repro.errors import ReproError
-from repro.fabric.config import ConsensusConfig, CostModel, FabricConfig
+from repro.fabric.config import (
+    BackpressureConfig,
+    ConsensusConfig,
+    CostModel,
+    FabricConfig,
+)
 from repro.fabric.metrics import PipelineMetrics, TxOutcome
 from repro.faults import schedule_from_dict
+from repro.traffic import ArrivalProcess
 
 #: Schema version stamped into serialised result sets; bump on breaking change.
 RESULTSET_SCHEMA = 1
@@ -71,8 +77,17 @@ def config_from_dict(data: Dict[str, object]) -> FabricConfig:
     faults = schedule_from_dict(data.pop("faults", {}))
     # Absent in pre-consensus snapshots (and cache entries they wrote).
     consensus = ConsensusConfig(**data.pop("consensus", {}))
+    # Absent in pre-overload snapshots.
+    traffic = ArrivalProcess(**data.pop("traffic", {}))
+    backpressure = BackpressureConfig(**data.pop("backpressure", {}))
     return FabricConfig(
-        batch=batch, costs=costs, faults=faults, consensus=consensus, **data
+        batch=batch,
+        costs=costs,
+        faults=faults,
+        consensus=consensus,
+        traffic=traffic,
+        backpressure=backpressure,
+        **data,
     )
 
 
@@ -105,6 +120,8 @@ def metrics_to_dict(metrics: PipelineMetrics) -> Dict[str, object]:
         snapshot["validation"] = metrics.validation.to_dict()
     if metrics.consensus is not None:
         snapshot["consensus"] = metrics.consensus.to_dict()
+    if metrics.overload is not None:
+        snapshot["overload"] = metrics.overload.to_dict()
     return snapshot
 
 
@@ -137,6 +154,10 @@ def metrics_from_dict(data: Dict[str, object]) -> PipelineMetrics:
         from repro.fabric.metrics import ConsensusStats
 
         metrics.consensus = ConsensusStats.from_dict(data["consensus"])
+    if "overload" in data:
+        from repro.fabric.metrics import OverloadStats
+
+        metrics.overload = OverloadStats.from_dict(data["overload"])
     return metrics
 
 

@@ -18,13 +18,17 @@ caching in ``.repro-cache/`` — a second identical invocation completes
 from cache without re-simulating; ``profile`` traces both systems and
 prints the Figure 1-style cost attribution per resource.
 
-Two more subcommands cover robustness: ``verify-ledger`` checks the
-hash chain of an exported ledger, and ``chaos`` runs randomized fault
+Three more subcommands cover robustness: ``verify-ledger`` checks the
+hash chain of an exported ledger, ``chaos`` runs randomized fault
 schedules (peer/orderer crashes, partitions, lossy links) against the
 replicated ordering service and asserts the consensus safety
-invariants after every run::
+invariants after every run, and ``scenario`` runs the named overload
+scenarios (open-loop traffic shapes, misbehaving clients, bounded
+queues) under the same invariant checks::
 
     python -m repro chaos --seeds 20 --report chaos-report.json
+    python -m repro scenario flash-crowd --seeds 10 --report scenario.json
+    python -m repro scenario --list
 
 Fault schedules can also be loaded from JSON with ``--faults-file``
 (the :meth:`~repro.faults.FaultSchedule.to_dict` layout), mutually
@@ -50,6 +54,7 @@ from repro.core.batch_cutter import BatchCutConfig
 from repro.errors import ConfigError, ReproError
 from repro.fabric.config import FabricConfig
 from repro.faults import CrashWindow, FaultSchedule, StallWindow
+from repro.traffic import ARRIVAL_KINDS, ArrivalProcess
 from repro.workloads.base import Workload
 from repro.workloads.registry import WorkloadRef
 
@@ -76,6 +81,11 @@ SWEEPABLE = {
     "validation-scheduler": ("validation_scheduler", str),
     "pipeline-depth": ("pipeline_depth", int),
     "orderer-nodes": ("orderer_nodes", int),
+    "traffic": ("traffic", str),
+    "arrival-rate": ("arrival_rate", float),
+    "orderer-queue-limit": ("orderer_queue_limit", int),
+    "endorse-queue-limit": ("endorse_queue_limit", int),
+    "delivery-backlog-limit": ("delivery_backlog_limit", int),
 }
 
 
@@ -194,6 +204,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--report", metavar="PATH", default=None,
         help="write the full invariant report to PATH as JSON",
     )
+
+    scenario = subcommands.add_parser(
+        "scenario",
+        help="named overload scenarios with consensus invariant checks",
+    )
+    scenario.add_argument(
+        "name", nargs="?", default=None,
+        help="scenario to run (default: every registered scenario); "
+             "see --list",
+    )
+    scenario.add_argument(
+        "--list", action="store_true",
+        help="list the registered scenarios and exit",
+    )
+    scenario.add_argument(
+        "--seeds", type=int, default=10,
+        help="number of seeds to run per scenario (default 10)",
+    )
+    scenario.add_argument(
+        "--seed-base", type=int, default=0,
+        help="first seed; seeds run [base, base+seeds) (default 0)",
+    )
+    scenario.add_argument(
+        "--system", choices=("fabric", "fabric++"), default="fabric",
+        help="pipeline variant to stress (default fabric)",
+    )
+    scenario.add_argument(
+        "--report", metavar="PATH", default=None,
+        help="write the full invariant report to PATH as JSON",
+    )
     return parser
 
 
@@ -260,6 +300,26 @@ def _add_system_arguments(sub: argparse.ArgumentParser, with_system: bool) -> No
                      help="ordering-service replicas: N>=2 enables the "
                           "Raft-style replicated orderer with leader "
                           "election (default 1 = single orderer)")
+    sub.add_argument("--traffic", choices=ARRIVAL_KINDS, default="closed",
+                     help="client arrival process: closed (default; paced "
+                          "1/client-rate loop) or an open-loop shape "
+                          "(poisson, diurnal, flash, heavy_tail)")
+    sub.add_argument("--arrival-rate", type=float, default=None, metavar="R",
+                     help="open-loop mean arrivals per second per client "
+                          "(default: --client-rate)")
+    sub.add_argument("--orderer-queue-limit", type=int, default=0, metavar="N",
+                     help="bound the orderer inbound queue to N transactions; "
+                          "admission rejects past the bound (default 0 = "
+                          "unbounded)")
+    sub.add_argument("--endorse-queue-limit", type=int, default=0, metavar="N",
+                     help="bound concurrent endorsements per peer to N; "
+                          "excess proposals are refused (default 0 = "
+                          "unbounded)")
+    sub.add_argument("--delivery-backlog-limit", type=int, default=0,
+                     metavar="N",
+                     help="pause block delivery while any peer holds N "
+                          "unvalidated blocks, propagating validation "
+                          "backpressure to admission (default 0 = unbounded)")
 
 
 def _add_fault_arguments(sub: argparse.ArgumentParser) -> None:
@@ -343,7 +403,7 @@ def _load_faults_file(path: str) -> FaultSchedule:
         )
     try:
         schedule = schedule_from_dict(data)
-    except TypeError as error:
+    except (ConfigError, TypeError) as error:
         raise ConfigError(f"bad --faults-file {path!r}: {error}") from error
     if (
         "endorsement_timeout" not in data
@@ -437,6 +497,28 @@ def workload_from_args(args: argparse.Namespace) -> Workload:
     return workload_ref_from_args(args).build()
 
 
+def traffic_from_args(args: argparse.Namespace) -> ArrivalProcess:
+    """Build the arrival process the arguments describe (closed default)."""
+    kind = getattr(args, "traffic", "closed")
+    rate = getattr(args, "arrival_rate", None)
+    if kind == "closed" and rate is not None:
+        raise ConfigError("--arrival-rate needs an open-loop --traffic shape")
+    if kind == "closed":
+        return ArrivalProcess()
+    return ArrivalProcess(kind=kind, rate=rate)
+
+
+def backpressure_from_args(args: argparse.Namespace):
+    """Build the backpressure configuration the arguments describe."""
+    from repro.fabric.config import BackpressureConfig
+
+    return BackpressureConfig(
+        orderer_queue_limit=getattr(args, "orderer_queue_limit", 0),
+        endorse_queue_limit=getattr(args, "endorse_queue_limit", 0),
+        delivery_backlog_limit=getattr(args, "delivery_backlog_limit", 0),
+    )
+
+
 def config_from_args(args: argparse.Namespace) -> FabricConfig:
     """Build the network configuration the arguments describe."""
     config = replace(
@@ -452,6 +534,8 @@ def config_from_args(args: argparse.Namespace) -> FabricConfig:
         validation_scheduler=getattr(args, "validation_scheduler", "serial"),
         pipeline_depth=getattr(args, "pipeline_depth", 1),
         orderer_nodes=getattr(args, "orderer_nodes", 1),
+        traffic=traffic_from_args(args),
+        backpressure=backpressure_from_args(args),
     )
     max_resubmits = getattr(args, "max_resubmits", None)
     if max_resubmits is not None:
@@ -736,6 +820,58 @@ def command_chaos(args: argparse.Namespace) -> int:
     return 0 if passed == len(reports) else 1
 
 
+def command_scenario(args: argparse.Namespace) -> int:
+    """Run named overload scenarios and check consensus invariants."""
+    from repro.chaos import INVARIANT_NAMES
+    from repro.scenarios import get_scenario, run_scenario, scenario_names
+
+    if args.list:
+        for name in scenario_names():
+            print(f"{name:<22s} {get_scenario(name).description}")
+        return 0
+    names = [args.name] if args.name else scenario_names()
+    for name in names:
+        get_scenario(name)  # fail fast on a typo, before any simulation
+
+    reports = []
+    for name in names:
+        for seed in range(args.seed_base, args.seed_base + args.seeds):
+            report = run_scenario(
+                name, seed, system=args.system
+            )
+            reports.append(report)
+            status = "PASS" if report.passed else "FAIL"
+            print(
+                f"{name:<22s} seed {report.seed:>4d}  {status}  "
+                f"fired={report.fired:>5d}  committed={report.committed:>5d}  "
+                f"shed={report.shed:>5d}  retries={report.client_retries:>5d}  "
+                f"blocks={report.blocks:>3d}"
+            )
+            for line in report.details:
+                print(f"           {line}")
+    passed = sum(1 for report in reports if report.passed)
+    print(
+        f"\nscenario: {passed}/{len(reports)} seeds passed all "
+        f"{len(INVARIANT_NAMES)} invariants + liveness"
+    )
+    if args.report:
+        import json
+
+        payload = {
+            "scenarios": names,
+            "seeds": args.seeds,
+            "seed_base": args.seed_base,
+            "system": args.system,
+            "passed": passed,
+            "failed": len(reports) - passed,
+            "runs": [report.to_dict() for report in reports],
+        }
+        with open(args.report, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote invariant report to {args.report}")
+    return 0 if passed == len(reports) else 1
+
+
 def command_verify_ledger(args: argparse.Namespace) -> int:
     from repro.errors import LedgerError, LedgerVerificationError
     from repro.ledger.export import load_ledger
@@ -788,6 +924,7 @@ COMMANDS = {
     "profile": command_profile,
     "verify-ledger": command_verify_ledger,
     "chaos": command_chaos,
+    "scenario": command_scenario,
 }
 
 

@@ -88,6 +88,11 @@ class ReplicatedOrderingService:
         self.blocks_cut = 0
         self.txs_received = 0
         self.txs_early_aborted = 0
+        #: Backpressure: shared OverloadStats, attached by the network
+        #: when a queue bound is configured (same contract as the single
+        #: orderer). Internal re-proposal paths bypass admission — an
+        #: accepted transaction is never dropped by its own failover.
+        self.overload = None
         self.group = RaftGroup(
             cluster,
             channel,
@@ -112,14 +117,33 @@ class ReplicatedOrderingService:
 
     # -- receiving -----------------------------------------------------------
 
-    def submit(self, transaction: Transaction) -> None:
-        """Accept a transaction from a client."""
+    def submit(self, transaction: Transaction) -> bool:
+        """Accept a transaction from a client.
+
+        Returns False when admission control rejects it at a full bounded
+        queue — before any pending-state bookkeeping, so a rejected
+        transaction is never re-proposed across failovers. True means
+        accepted (the historical unbounded behavior when no bound is
+        configured).
+        """
+        stats = self.overload
+        if stats is not None:
+            stats.submissions += 1
+            limit = self.config.backpressure.orderer_queue_limit
+            depth = len(self.incoming)
+            if 0 < limit <= depth:
+                stats.orderer_rejections += 1
+                return False
+            stats.queue_depth_sum += depth
+            if depth > stats.queue_depth_peak:
+                stats.queue_depth_peak = depth
         if self.tracer is not None:
             transaction.orderer_arrival = self.env.now
         self.txs_received += 1
         self._pending[transaction.tx_id] = transaction
         self._unproposed.add(transaction.tx_id)
         self.incoming.put(transaction)
+        return True
 
     def install_stalls(self, windows: tuple) -> None:
         """Fault injection: stall intake/cutting during the given windows."""

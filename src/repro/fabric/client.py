@@ -33,11 +33,12 @@ from repro.fabric.orderer import OrderingService
 from repro.fabric.peer import EndorseReply, Peer
 from repro.fabric.policy import EndorsementPolicy
 from repro.fabric.transaction import Proposal, Transaction
-from repro.faults import FaultInjector
+from repro.faults import FaultInjector, MisbehaviorSpec
 from repro.sim.distributions import Rng
 from repro.sim.engine import Environment, Event
 from repro.sim.resources import Resource
 from repro.trace.tracer import ASYNC, Tracer
+from repro.traffic import ArrivalSampler
 from repro.workloads.base import Workload
 
 
@@ -60,6 +61,11 @@ class Client:
         register_pending: Callable[..., None],
         faults: Optional[FaultInjector] = None,
         fault_rng: Optional[Rng] = None,
+        arrival: Optional[ArrivalSampler] = None,
+        misbehavior: Optional[MisbehaviorSpec] = None,
+        misbehavior_rng: Optional[Rng] = None,
+        overload_rng: Optional[Rng] = None,
+        overload=None,
         tracer: Optional[Tracer] = None,
     ) -> None:
         self.env = env
@@ -75,6 +81,17 @@ class Client:
         self._register_pending = register_pending
         self.faults = faults
         self.fault_rng = fault_rng
+        #: Open-loop traffic: when set, arrivals come from this sampler
+        #: and the in-flight window no longer gates firing.
+        self.arrival = arrival
+        #: Misbehavior: the spec this client adopts (None = honest) and
+        #: its dedicated behavior-draw stream.
+        self.misbehavior = misbehavior
+        self.misbehavior_rng = misbehavior_rng
+        #: Backpressure: seeded rejection-backoff stream and the run's
+        #: shared OverloadStats (both None on unbounded runs).
+        self.overload_rng = overload_rng
+        self.overload = overload
         self.tracer = tracer
         # Round-robin endorser choice per org, as real SDKs load-balance.
         self._endorser_cycles = {
@@ -85,6 +102,8 @@ class Client:
         self._in_flight = 0
         self._slot_waiter: Optional[Event] = None
         self._stopped = False
+        #: resubmit_storm: lifetime refires, bounded by the spec's cap.
+        self._storm_fired = 0
 
     # -- firing loop ---------------------------------------------------------------
 
@@ -97,6 +116,9 @@ class Client:
         self._stopped = True
 
     def _fire_loop(self) -> Generator:
+        if self.arrival is not None:
+            yield from self._fire_loop_open()
+            return
         interval = 1.0 / self.config.client_rate
         next_fire = self.env.now
         while not self._stopped:
@@ -116,6 +138,20 @@ class Client:
                 # We fell behind (window stall); resume the cadence from
                 # now rather than releasing a burst of make-up proposals.
                 next_fire = self.env.now
+
+    def _fire_loop_open(self) -> Generator:
+        """Open-loop arrivals: fire on the sampler's schedule, regardless
+        of how many earlier proposals are still unresolved.
+
+        No ``client_window`` gate — open-loop load does not slow down when
+        the system falls behind, which is exactly what exposes overload
+        behavior.
+        """
+        while not self._stopped:
+            yield self.arrival.next_interval(self.env.now)  # bare-delay sleep
+            if self._stopped:
+                return
+            self._fire_one()
 
     def _fire_one(self, retries: int = 0) -> None:
         invocation = self.workload.next_invocation(self.rng)
@@ -137,9 +173,11 @@ class Client:
 
     # -- one proposal's lifecycle ----------------------------------------------------
 
-    def _submit(self, proposal: Proposal, retries: int = 0) -> Generator:
+    def _submit(
+        self, proposal: Proposal, retries: int = 0, overload_attempt: int = 0
+    ) -> Generator:
         if self.faults is not None and self.config.faults.endorsement_timeout > 0:
-            yield from self._submit_robust(proposal, retries)
+            yield from self._submit_robust(proposal, retries, overload_attempt)
             return
 
         costs = self.config.costs
@@ -181,6 +219,11 @@ class Client:
             # proposal ever touching the orderer (Section 5.2.1).
             self.resolve(proposal, TxOutcome.EARLY_ABORT_SIM, retries=retries)
             return
+        if any(reply.rejected for reply in replies):
+            # A saturated endorser shed the proposal: back off and retry
+            # the whole round (fresh reads), or shed after the budget.
+            yield from self._overload_backoff(proposal, retries, overload_attempt)
+            return
 
         yield from self.machine_cpu.use(
             costs.client_verify_endorsement * len(replies)
@@ -199,24 +242,105 @@ class Client:
             self.resolve(proposal, TxOutcome.ENDORSEMENT_MISMATCH, retries=retries)
             return
 
+        rwset = self._maybe_oversize(reference, proposal)
         transaction = Transaction(
             tx_id=proposal.proposal_id,
             proposal=proposal,
-            rwset=reference,
+            rwset=rwset,
             endorsements=endorsements,
             assembled_at=self.env.now,
         )
+        yield from self._dispatch(transaction, proposal, retries, overload_attempt)
+
+    # -- misbehavior ---------------------------------------------------------------
+
+    def _maybe_oversize(self, reference, proposal: Proposal) -> object:
+        """oversized_rwset: pad the write set *after* endorsement.
+
+        The padded rwset no longer matches what the endorsers signed, so
+        validation fails the transaction with a policy abort — the
+        signature check doing its job against a tampering client.
+        """
+        spec = self.misbehavior
+        if (
+            spec is None
+            or spec.kind != "oversized_rwset"
+            or self.misbehavior_rng.random() >= spec.rate
+        ):
+            return reference
+        self.metrics.record_fault("oversized_rwsets")
+        padded = reference.copy()
+        for index in range(spec.padding):
+            padded.record_write(f"__pad/{proposal.proposal_id}/{index}", index)
+        return padded
+
+    def _dispatch(
+        self,
+        transaction: Transaction,
+        proposal: Proposal,
+        retries: int,
+        overload_attempt: int,
+    ) -> Generator:
+        """Ship an assembled transaction to the ordering service.
+
+        Applies the stale-replay hold, registers the pending intent only
+        once the orderer actually accepts the submission, and routes a
+        rejection through the overload backoff.
+        """
+        spec = self.misbehavior
+        if (
+            spec is not None
+            and spec.kind == "stale_replay"
+            and self.misbehavior_rng.random() < spec.rate
+        ):
+            # Hold the fully endorsed transaction before submitting it, so
+            # its read versions are stale by validation time (a replayed
+            # or long-buffered proposal).
+            self.metrics.record_fault("stale_replays")
+            yield spec.hold_time  # bare-delay sleep
+        yield self.config.costs.net_message
+        if self.tracer is not None:
+            self.tracer.charge("network", self.config.costs.net_message)
+        if not self.orderer.submit(transaction):
+            yield from self._overload_backoff(proposal, retries, overload_attempt)
+            return
         self._register_pending(
             transaction.tx_id, self, proposal.submitted_at, retries
         )
-        yield costs.net_message
-        if tracer is not None:
-            tracer.charge("network", costs.net_message)
-        self.orderer.submit(transaction)
+
+    def _overload_backoff(
+        self, proposal: Proposal, retries: int, attempt: int
+    ) -> Generator:
+        """React to an admission-control rejection: back off, retry, shed.
+
+        Each retry re-runs the whole submission (fresh endorsement round,
+        fresh reads — a held-back transaction would only abort later
+        anyway). After ``client_retries`` rejections the transaction is
+        shed with the terminal ``overload_rejected`` outcome.
+        """
+        backpressure = self.config.backpressure
+        if self._stopped or attempt >= backpressure.client_retries:
+            if self.overload is not None:
+                self.overload.txs_shed += 1
+            self.resolve(proposal, TxOutcome.OVERLOAD_REJECTED, retries=retries)
+            return
+        if self.overload is not None:
+            self.overload.client_retries += 1
+        backoff = backpressure.retry_backoff_base * (
+            backpressure.retry_backoff_factor ** attempt
+        )
+        if backpressure.retry_backoff_jitter > 0 and self.overload_rng is not None:
+            backoff *= (
+                1.0 + backpressure.retry_backoff_jitter * self.overload_rng.random()
+            )
+        yield backoff  # bare-delay sleep
+        yield from self._submit(proposal, retries, overload_attempt=attempt + 1)
 
     # -- fault-tolerant endorsement collection -----------------------------------------
 
-    def _submit_robust(self, proposal: Proposal, retries: int) -> Generator:
+    def _submit_robust(
+        self, proposal: Proposal, retries: int, overload_attempt: int = 0
+    ) -> Generator:
         """Endorsement collection under faults (timeout / retry / degrade).
 
         Each round ships the proposal to one peer of *every* org the
@@ -285,20 +409,17 @@ class Client:
                         proposal, TxOutcome.ENDORSEMENT_MISMATCH, retries=retries
                     )
                     return
+                rwset = self._maybe_oversize(reference, proposal)
                 transaction = Transaction(
                     tx_id=proposal.proposal_id,
                     proposal=proposal,
-                    rwset=reference,
+                    rwset=rwset,
                     endorsements=endorsements,
                     assembled_at=self.env.now,
                 )
-                self._register_pending(
-                    transaction.tx_id, self, proposal.submitted_at, retries
+                yield from self._dispatch(
+                    transaction, proposal, retries, overload_attempt
                 )
-                yield costs.net_message
-                if self.tracer is not None:
-                    self.tracer.charge("network", costs.net_message)
-                self.orderer.submit(transaction)
                 return
 
             if attempt < schedule.max_endorsement_retries:
@@ -336,6 +457,10 @@ class Client:
         reply = yield peer.endorse(self.channel, proposal)
         if reply.down:
             self.faults.record("endorsements_refused")
+            return None
+        if reply.rejected:
+            # Shed at the peer's admission cap: like a refused connection,
+            # the round may still satisfy the policy from other orgs.
             return None
         back = self.faults.message_delay(costs.net_message)
         if back is None:
@@ -387,7 +512,23 @@ class Client:
             if tx_id is None:
                 tx_id = proposal_or_submitted.proposal_id
         latency = self.env.now - submitted_at
-        self.metrics.record_outcome(outcome, latency, now=self.env.now)
+        spec = self.misbehavior
+        storms = spec is not None and spec.kind == "resubmit_storm"
+        failed_live = not outcome.is_success and not self._stopped
+        will_resubmit = False
+        exhausted = False
+        terminal = outcome
+        if failed_live and self.config.resubmit_failed and not storms:
+            cap = self.config.max_resubmits
+            if cap is None or retries < cap:
+                will_resubmit = True
+            else:
+                # The intent exhausted its resubmission budget: its final
+                # failure terminates in the dedicated exhaustion bucket,
+                # distinct from whatever abort it happened to hit last.
+                exhausted = True
+                terminal = TxOutcome.RESUBMIT_EXHAUSTED
+        self.metrics.record_outcome(terminal, latency, now=self.env.now)
         if self.tracer is not None:
             self.tracer.span(
                 "tx.lifecycle",
@@ -396,20 +537,25 @@ class Client:
                 start=submitted_at,
                 tx_id=tx_id,
                 mode=ASYNC,
-                outcome=outcome.value,
+                outcome=terminal.value,
                 retries=retries,
             )
         self._in_flight -= 1
         if self._slot_waiter is not None and not self._slot_waiter.triggered:
             self._slot_waiter.succeed()
-        if self.config.resubmit_failed and not outcome.is_success and not self._stopped:
-            cap = self.config.max_resubmits
-            if cap is None or retries < cap:
-                # Immediate resubmission of the failed business intent as
-                # a fresh proposal (fresh simulation, new chance to
-                # commit).
-                self._fire_one(retries + 1)
-            else:
-                # The intent exhausted its resubmission budget; give up
-                # and count it rather than cycling forever.
-                self.metrics.record_fault("resubmit_capped")
+        if storms and failed_live:
+            # resubmit_storm: a buggy retry loop refires every failure
+            # ``storm_factor`` times, amplifying load exactly when the
+            # system is struggling — bounded by the spec's lifetime cap.
+            burst = min(spec.storm_factor, spec.storm_cap - self._storm_fired)
+            if burst > 0:
+                self._storm_fired += burst
+                self.metrics.record_fault("storm_resubmits", burst)
+                for _ in range(burst):
+                    self._fire_one(retries + 1)
+        elif will_resubmit:
+            # Immediate resubmission of the failed business intent as a
+            # fresh proposal (fresh simulation, new chance to commit).
+            self._fire_one(retries + 1)
+        elif exhausted:
+            self.metrics.record_fault("resubmit_capped")

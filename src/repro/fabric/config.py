@@ -27,6 +27,7 @@ from typing import Optional
 from repro.core.batch_cutter import BatchCutConfig
 from repro.errors import ConfigError
 from repro.faults import FaultSchedule
+from repro.traffic import ArrivalProcess
 
 
 @dataclass(frozen=True)
@@ -134,6 +135,80 @@ class ConsensusConfig:
             raise ConfigError("message_cpu must be >= 0")
 
 
+#: Seed salt for the per-client rejection-backoff jitter streams, keeping
+#: them decorrelated from workload, traffic, and fault streams.
+OVERLOAD_SEED_SALT = 0xBACC
+
+
+@dataclass(frozen=True)
+class BackpressureConfig:
+    """Bounded inbound queues and the client reaction to rejection.
+
+    The defaults model the historical unbounded queues (no admission
+    control anywhere) and are bit-identical to the pre-backpressure
+    build. A positive ``orderer_queue_limit`` caps the ordering service's
+    inbound queue: submissions arriving at a full queue are *rejected*
+    instead of enqueued, mirroring the broadcast flow control of the real
+    ordering service (Androulaki et al., arXiv:1801.10228). A positive
+    ``endorse_queue_limit`` caps concurrent endorsement work per peer:
+    proposals beyond the cap are answered with a rejection reply instead
+    of queueing on the peer CPU. Rejected clients retry with bounded
+    exponential backoff and finally *shed* the transaction, resolving it
+    with the terminal ``overload_rejected`` outcome.
+
+    A positive ``delivery_backlog_limit`` propagates backpressure up
+    from the slowest pipeline stage: while any peer in the channel holds
+    that many delivered-but-unvalidated blocks, the ordering service
+    stops cutting, its own inbound queue fills, and admission control
+    starts rejecting — so a validation bottleneck (the common case for
+    Fabric++, whose lock-free endorsement never saturates) surfaces to
+    clients instead of ballooning the commit latency.
+    """
+
+    #: Max transactions queued at one ordering service (0 = unbounded).
+    orderer_queue_limit: int = 0
+    #: Max concurrent endorsement requests per peer (0 = unbounded).
+    endorse_queue_limit: int = 0
+    #: Max delivered-but-unvalidated blocks at any peer before the
+    #: orderer pauses block delivery (0 = unbounded).
+    delivery_backlog_limit: int = 0
+    #: Rejection retries before a client sheds the transaction.
+    client_retries: int = 3
+    #: Exponential backoff after a rejection: ``base * factor**attempt``
+    #: stretched by up to ``jitter`` (seeded per-client stream).
+    retry_backoff_base: float = 0.01
+    retry_backoff_factor: float = 2.0
+    retry_backoff_jitter: float = 0.5
+
+    @property
+    def is_off(self) -> bool:
+        """True when no queue bound is set (the bit-identical default)."""
+        return (
+            self.orderer_queue_limit == 0
+            and self.endorse_queue_limit == 0
+            and self.delivery_backlog_limit == 0
+        )
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` for inconsistent backpressure knobs."""
+        if self.orderer_queue_limit < 0:
+            raise ConfigError("orderer_queue_limit must be >= 0 (0 = unbounded)")
+        if self.endorse_queue_limit < 0:
+            raise ConfigError("endorse_queue_limit must be >= 0 (0 = unbounded)")
+        if self.delivery_backlog_limit < 0:
+            raise ConfigError(
+                "delivery_backlog_limit must be >= 0 (0 = unbounded)"
+            )
+        if self.client_retries < 0:
+            raise ConfigError("client_retries must be >= 0")
+        if self.retry_backoff_base <= 0:
+            raise ConfigError("retry_backoff_base must be > 0")
+        if self.retry_backoff_factor < 1.0:
+            raise ConfigError("retry_backoff_factor must be >= 1")
+        if self.retry_backoff_jitter < 0:
+            raise ConfigError("retry_backoff_jitter must be >= 0")
+
+
 @dataclass(frozen=True)
 class FabricConfig:
     """Full configuration of one network run."""
@@ -174,6 +249,16 @@ class FabricConfig:
     #: "outof:K" = any K of the orgs. ``FabricNetwork`` still accepts a
     #: policy object directly, which takes precedence.
     endorsement_policy: Optional[str] = None
+
+    #: Arrival process per client (``repro.traffic``). The default keeps
+    #: the original closed-loop ``1 / client_rate`` pacing bit-identical;
+    #: any other kind switches clients to open-loop arrivals drawn from
+    #: dedicated seeded streams and ignores ``client_window``.
+    traffic: ArrivalProcess = field(default_factory=ArrivalProcess)
+
+    #: Bounded-queue admission control and client retry/shed behavior.
+    #: The default (no limits) is bit-identical to unbounded queues.
+    backpressure: BackpressureConfig = field(default_factory=BackpressureConfig)
 
     #: Deterministic fault schedule; the default injects nothing and
     #: leaves the healthy pipeline bit-identical to a fault-free build.
@@ -271,6 +356,8 @@ class FabricConfig:
         if self.orderer_nodes < 1:
             raise ConfigError("orderer_nodes must be >= 1")
         self.consensus.validate()
+        self.traffic.validate()
+        self.backpressure.validate()
         self.faults.validate()
         if not self.uses_replicated_ordering:
             if self.faults.orderer_crashes:

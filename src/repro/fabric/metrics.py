@@ -37,6 +37,14 @@ class TxOutcome(enum.Enum):
     #: Endorsement collection never satisfied the policy within the
     #: configured deadline and bounded retries (fault-injection runs).
     ENDORSEMENT_TIMEOUT = "endorsement_timeout"
+    #: Shed by admission control: the orderer or an endorsing peer
+    #: rejected the submission at a full bounded queue and the client
+    #: exhausted its rejection retries (backpressure runs).
+    OVERLOAD_REJECTED = "overload_rejected"
+    #: A failed business intent exhausted the ``max_resubmits`` cap; the
+    #: final failure terminates here instead of the generic abort bucket
+    #: (resubmitting runs only).
+    RESUBMIT_EXHAUSTED = "resubmit_exhausted"
 
     @property
     def is_success(self) -> bool:
@@ -251,6 +259,91 @@ class ConsensusStats:
 
 
 @dataclass
+class OverloadStats:
+    """Admission-control counters for one backpressure-enabled run.
+
+    Only attached when a queue bound is configured
+    (``FabricConfig.backpressure``); default unbounded runs leave
+    :attr:`PipelineMetrics.overload` as ``None`` so their metric
+    snapshots stay byte-identical to pre-backpressure builds.
+    """
+
+    #: The configured bounds the stats were collected under.
+    orderer_queue_limit: int = 0
+    endorse_queue_limit: int = 0
+    #: Transactions offered to the ordering service (accepted + rejected).
+    submissions: int = 0
+    #: Submissions refused at a full orderer queue.
+    orderer_rejections: int = 0
+    #: Endorsement requests refused at a saturated peer.
+    endorse_rejections: int = 0
+    #: Client retries triggered by a rejection (before shedding).
+    client_retries: int = 0
+    #: Transactions shed after exhausting rejection retries
+    #: (== the ``overload_rejected`` outcome count).
+    txs_shed: int = 0
+    #: Orderer inbound queue depth: peak and per-submission sum (the
+    #: average divides by ``submissions``).
+    queue_depth_peak: int = 0
+    queue_depth_sum: int = 0
+    #: Peak concurrent endorsement requests at any peer.
+    endorse_inflight_peak: int = 0
+    #: Simulated seconds the orderer spent paused because a peer's
+    #: delivered-block backlog sat at ``delivery_backlog_limit``.
+    delivery_stall_seconds: float = 0.0
+
+    def rejection_rate(self) -> float:
+        """Fraction of orderer submissions refused at the queue."""
+        if not self.submissions:
+            return 0.0
+        return self.orderer_rejections / self.submissions
+
+    def avg_queue_depth(self) -> float:
+        """Mean orderer queue depth observed at submission time."""
+        if not self.submissions:
+            return 0.0
+        return self.queue_depth_sum / self.submissions
+
+    def summary(self) -> Dict[str, object]:
+        """Flat dict of the headline overload numbers."""
+        return {
+            "orderer_queue_limit": self.orderer_queue_limit,
+            "endorse_queue_limit": self.endorse_queue_limit,
+            "submissions": self.submissions,
+            "orderer_rejections": self.orderer_rejections,
+            "endorse_rejections": self.endorse_rejections,
+            "client_retries": self.client_retries,
+            "txs_shed": self.txs_shed,
+            "rejection_rate": round(self.rejection_rate(), 4),
+            "queue_depth_peak": self.queue_depth_peak,
+            "avg_queue_depth": round(self.avg_queue_depth(), 2),
+            "endorse_inflight_peak": self.endorse_inflight_peak,
+            "delivery_stall_seconds": round(self.delivery_stall_seconds, 4),
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form for JSON round-tripping (raw counters only)."""
+        return {
+            "orderer_queue_limit": self.orderer_queue_limit,
+            "endorse_queue_limit": self.endorse_queue_limit,
+            "submissions": self.submissions,
+            "orderer_rejections": self.orderer_rejections,
+            "endorse_rejections": self.endorse_rejections,
+            "client_retries": self.client_retries,
+            "txs_shed": self.txs_shed,
+            "queue_depth_peak": self.queue_depth_peak,
+            "queue_depth_sum": self.queue_depth_sum,
+            "endorse_inflight_peak": self.endorse_inflight_peak,
+            "delivery_stall_seconds": self.delivery_stall_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "OverloadStats":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(**data)
+
+
+@dataclass
 class PipelineMetrics:
     """Counters and latency samples for one simulated run."""
 
@@ -294,6 +387,10 @@ class PipelineMetrics:
     #: cluster (``orderer_nodes > 1``); None (and absent from summaries)
     #: on single-orderer runs.
     consensus: Optional[ConsensusStats] = None
+    #: Admission-control stats. Set only when a queue bound is configured
+    #: (``FabricConfig.backpressure``); None (and absent from summaries)
+    #: on unbounded runs.
+    overload: Optional[OverloadStats] = None
 
     def record_fired(self) -> None:
         """Count one fired proposal."""
@@ -500,4 +597,6 @@ class PipelineMetrics:
             summary["validation"] = self.validation.summary(self.duration)
         if self.consensus is not None:
             summary["consensus"] = self.consensus.summary()
+        if self.overload is not None:
+            summary["overload"] = self.overload.summary()
         return summary

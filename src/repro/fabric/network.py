@@ -16,14 +16,15 @@ from repro.crypto.identity import IdentityRegistry
 from repro.errors import ConfigError
 from repro.fabric.chaincode import ChaincodeRegistry
 from repro.fabric.client import Client
-from repro.fabric.config import FabricConfig
-from repro.fabric.metrics import PipelineMetrics, TxOutcome
+from repro.fabric.config import OVERLOAD_SEED_SALT, FabricConfig
+from repro.fabric.metrics import OverloadStats, PipelineMetrics, TxOutcome
 from repro.fabric.orderer import OrderingService
 from repro.fabric.peer import Peer
 from repro.fabric.policy import AllOrgs, EndorsementPolicy, parse_policy_spec
 from repro.consensus.cluster import OrdererCluster
 from repro.consensus.service import ReplicatedOrderingService
-from repro.faults import FaultInjector
+from repro.faults import MISBEHAVIOR_SEED_SALT, FaultInjector, assign_misbehaviors
+from repro.traffic import TRAFFIC_SEED_SALT, ArrivalSampler
 from repro.ledger.block import Block
 from repro.sim.distributions import Rng, mix_seed
 from repro.sim.engine import Environment
@@ -127,6 +128,19 @@ class FabricNetwork:
             self.orderer_cluster = OrdererCluster(self.env, config, tracer=tracer)
             self.metrics.consensus = self.orderer_cluster.stats
 
+        # Backpressure: one shared stats object, attached to the metrics
+        # and to every admission point only when a queue bound is set —
+        # unbounded runs carry no overload machinery at all.
+        self.overload: Optional[OverloadStats] = None
+        if not config.backpressure.is_off:
+            self.overload = OverloadStats(
+                orderer_queue_limit=config.backpressure.orderer_queue_limit,
+                endorse_queue_limit=config.backpressure.endorse_queue_limit,
+            )
+            self.metrics.overload = self.overload
+            for peer in self.peers:
+                peer.overload = self.overload
+
         self.orderers: Dict[str, OrderingService] = {}
         self.clients: List[Client] = []
         self.workloads: Dict[str, Workload] = {}
@@ -172,6 +186,26 @@ class FabricNetwork:
                 tracer=self.tracer,
             )
         self.orderers[channel] = orderer
+        orderer.overload = self.overload
+        if (
+            self.config.backpressure.delivery_backlog_limit > 0
+            and isinstance(orderer, OrderingService)
+        ):
+            peers = list(self.peers)
+            orderer.peer_backlog = lambda: max(
+                len(peer.channels[channel].incoming_blocks) for peer in peers
+            )
+
+        misbehaviors = (
+            assign_misbehaviors(
+                self.config.faults,
+                self.config.seed,
+                channel_index,
+                self.config.clients_per_channel,
+            )
+            if self.config.faults.misbehaviors
+            else {}
+        )
 
         for client_index in range(self.config.clients_per_channel):
             identity = self.registry.register(
@@ -185,6 +219,42 @@ class FabricNetwork:
                 if self.faults is not None
                 else None
             )
+            arrival = None
+            if not self.config.traffic.is_closed:
+                arrival = ArrivalSampler(
+                    self.config.traffic,
+                    self.config.client_rate,
+                    Rng(
+                        mix_seed(
+                            self.config.seed,
+                            TRAFFIC_SEED_SALT,
+                            channel_index,
+                            client_index,
+                        )
+                    ),
+                )
+            misbehavior = misbehaviors.get(client_index)
+            misbehavior_rng = None
+            if misbehavior is not None:
+                misbehavior_rng = Rng(
+                    mix_seed(
+                        self.config.seed,
+                        MISBEHAVIOR_SEED_SALT,
+                        channel_index,
+                        client_index,
+                        1,
+                    )
+                )
+            overload_rng = None
+            if self.overload is not None:
+                overload_rng = Rng(
+                    mix_seed(
+                        self.config.seed,
+                        OVERLOAD_SEED_SALT,
+                        channel_index,
+                        client_index,
+                    )
+                )
             client = Client(
                 self.env,
                 identity,
@@ -200,6 +270,11 @@ class FabricNetwork:
                 register_pending=self._register_pending,
                 faults=self.faults,
                 fault_rng=fault_rng,
+                arrival=arrival,
+                misbehavior=misbehavior,
+                misbehavior_rng=misbehavior_rng,
+                overload_rng=overload_rng,
+                overload=self.overload,
                 tracer=self.tracer,
             )
             self.clients.append(client)

@@ -28,6 +28,10 @@ from repro.sim.engine import Environment
 from repro.sim.resources import Resource, Store
 from repro.trace.tracer import ASYNC, Tracer
 
+#: Seconds between delivery-credit backlog polls (only scheduled when a
+#: ``delivery_backlog_limit`` is configured; never in default runs).
+DELIVERY_POLL_INTERVAL = 0.002
+
 
 class OrderingService:
     """The ordering pipeline of one channel."""
@@ -65,6 +69,15 @@ class OrderingService:
         self.blocks_cut = 0
         self.txs_received = 0
         self.txs_early_aborted = 0
+        #: Backpressure: shared OverloadStats, attached by the network
+        #: when a queue bound is configured; None keeps submission on the
+        #: historical unbounded path with zero extra work.
+        self.overload = None
+        #: Delivery credit: a callable reporting the deepest
+        #: delivered-but-unvalidated block backlog across the channel's
+        #: peers, attached by the network when ``delivery_backlog_limit``
+        #: is configured. None disables the stall entirely.
+        self.peer_backlog: Optional[Callable[[], int]] = None
         env.process(self._receiver(), name=f"orderer/{channel}")
 
     @property
@@ -74,11 +87,29 @@ class OrderingService:
 
     # -- receiving ---------------------------------------------------------------
 
-    def submit(self, transaction: Transaction) -> None:
-        """Accept a transaction from a client."""
+    def submit(self, transaction: Transaction) -> bool:
+        """Accept a transaction from a client.
+
+        Returns False when admission control rejects it at a full bounded
+        queue (the client retries or sheds); True means enqueued. With no
+        queue bound configured this always accepts, unbounded — the
+        historical behavior.
+        """
+        stats = self.overload
+        if stats is not None:
+            stats.submissions += 1
+            limit = self.config.backpressure.orderer_queue_limit
+            depth = len(self.incoming)
+            if 0 < limit <= depth:
+                stats.orderer_rejections += 1
+                return False
+            stats.queue_depth_sum += depth
+            if depth > stats.queue_depth_peak:
+                stats.queue_depth_peak = depth
         if self.tracer is not None:
             transaction.orderer_arrival = self.env.now
         self.incoming.put(transaction)
+        return True
 
     def install_stalls(self, windows: tuple) -> None:
         """Fault injection: stall processing during the given windows."""
@@ -206,7 +237,28 @@ class OrderingService:
                 # objects never carry it.
                 reorder_wall_seconds=reorder_wall_seconds,
             )
+        yield from self._delivery_credit()
         self._broadcast(self.channel, block)
+
+    def _delivery_credit(self) -> Generator:
+        """Pause delivery while a peer's block backlog sits at the bound.
+
+        Polling keeps the coupling loose — the orderer never reaches
+        into peer internals beyond the depth callable — and the interval
+        is far below every other pipeline timescale. While the receiver
+        is parked here its inbound queue fills, so sustained validation
+        overload turns into admission rejections at ``submit``. With no
+        limit configured this yields nothing at all.
+        """
+        limit = self.config.backpressure.delivery_backlog_limit
+        if limit <= 0 or self.peer_backlog is None:
+            return
+        stall_start = self.env.now
+        while self.peer_backlog() >= limit:
+            yield from self._maybe_stall()
+            yield DELIVERY_POLL_INTERVAL
+        if self.overload is not None and self.env.now > stall_start:
+            self.overload.delivery_stall_seconds += self.env.now - stall_start
 
     def _apply_version_filter(self, batch: List[Transaction]):
         """Within-block version-mismatch early abort (Section 5.2.2)."""

@@ -53,6 +53,9 @@ class EndorseReply:
     stale_key: Optional[str] = None
     #: Set when the endorser was crashed — a connection-refused answer.
     down: bool = False
+    #: Set when the endorser shed the proposal at its admission cap
+    #: (backpressure runs; the client retries with backoff or sheds).
+    rejected: bool = False
 
 
 class PeerChannelState:
@@ -111,6 +114,12 @@ class Peer:
         self._notify: Optional[Callable[[str, TxOutcome], None]] = None
         self._metrics: Optional[PipelineMetrics] = None
         self._policies: Dict[str, EndorsementPolicy] = {}
+        #: Backpressure: concurrent endorsement requests, checked against
+        #: ``config.backpressure.endorse_queue_limit`` when that bound is
+        #: set. ``overload`` is the shared OverloadStats, attached by the
+        #: network on backpressure runs.
+        self._endorse_inflight = 0
+        self.overload = None
 
     @property
     def name(self) -> str:
@@ -164,6 +173,28 @@ class Peer:
         )
 
     def _endorse_process(self, channel: str, proposal: Proposal) -> Generator:
+        limit = self.config.backpressure.endorse_queue_limit
+        if limit <= 0:
+            # No bound configured: the historical path, untouched.
+            return (yield from self._endorse_inner(channel, proposal))
+        if self._endorse_inflight >= limit:
+            # Admission control: shed the proposal instead of queueing it
+            # on the peer CPU behind an unbounded backlog.
+            if self.overload is not None:
+                self.overload.endorse_rejections += 1
+            return EndorseReply(None, rejected=True)
+        self._endorse_inflight += 1
+        if (
+            self.overload is not None
+            and self._endorse_inflight > self.overload.endorse_inflight_peak
+        ):
+            self.overload.endorse_inflight_peak = self._endorse_inflight
+        try:
+            return (yield from self._endorse_inner(channel, proposal))
+        finally:
+            self._endorse_inflight -= 1
+
+    def _endorse_inner(self, channel: str, proposal: Proposal) -> Generator:
         pcs = self.channels[channel]
         costs = self.config.costs
         tracer = self.tracer

@@ -30,11 +30,18 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
-from repro.sim.distributions import Rng
+from repro.sim.distributions import Rng, mix_seed
 
 #: Seed salt (an int, so derivation never depends on string hashing)
 #: separating the fault streams from the workload streams.
 FAULT_SEED_SALT = 0xFA17
+
+#: Seed salt separating misbehaving-client population and behavior draws
+#: from every other stream.
+MISBEHAVIOR_SEED_SALT = 0x3BAD
+
+#: The client misbehavior kinds :class:`MisbehaviorSpec` accepts.
+MISBEHAVIOR_KINDS = ("stale_replay", "oversized_rwset", "resubmit_storm")
 
 
 @dataclass(frozen=True)
@@ -199,6 +206,76 @@ class PartitionWindow:
 
 
 @dataclass(frozen=True)
+class MisbehaviorSpec:
+    """One population of misbehaving clients, as picklable data.
+
+    ``fraction`` of each channel's clients (at least one, chosen from a
+    dedicated seeded stream) adopt the behavior; honest clients are
+    untouched. The kinds model the client-side abuse catalogued for real
+    Fabric deployments:
+
+    ``stale_replay``
+        The client holds a fully endorsed transaction for ``hold_time``
+        simulated seconds before submitting it, so its read set is stale
+        by the time validation runs — a replayed or long-buffered
+        proposal. Surfaces as MVCC aborts (or early aborts on Fabric++).
+    ``oversized_rwset``
+        The client pads the transaction's read/write set with ``padding``
+        extra keys *after* endorsement, so the submitted rw-set no longer
+        matches what the endorsers signed. Surfaces as policy aborts.
+    ``resubmit_storm``
+        Every failed transaction is refired ``storm_factor`` times
+        (bounded by ``storm_cap`` per client) regardless of the
+        ``resubmit_failed`` setting — a buggy retry loop amplifying load
+        exactly when the system is struggling.
+    """
+
+    kind: str
+    #: Fraction of each channel's clients adopting the behavior.
+    fraction: float = 0.25
+    #: Probability that one transaction of a misbehaving client is
+    #: affected (stale_replay / oversized_rwset).
+    rate: float = 1.0
+    #: stale_replay: seconds an endorsed transaction is held back.
+    hold_time: float = 0.25
+    #: oversized_rwset: extra keys appended to the write set.
+    padding: int = 64
+    #: resubmit_storm: refires per failure and the per-client lifetime cap.
+    storm_factor: int = 4
+    storm_cap: int = 256
+
+    def describe(self) -> str:
+        """Compact ``kind x fraction`` form for error messages."""
+        return f"{self.kind} x {self.fraction}"
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on a malformed spec."""
+        if self.kind not in MISBEHAVIOR_KINDS:
+            raise ConfigError(
+                f"unknown misbehavior kind {self.kind!r}; "
+                f"expected one of {', '.join(MISBEHAVIOR_KINDS)}"
+            )
+        if not 0.0 < self.fraction <= 1.0:
+            raise ConfigError(
+                f"misbehavior fraction must be in (0, 1], got {self.fraction}"
+            )
+        if not 0.0 < self.rate <= 1.0:
+            raise ConfigError(
+                f"misbehavior rate must be in (0, 1], got {self.rate}"
+            )
+        if self.hold_time <= 0:
+            raise ConfigError(f"hold_time must be > 0, got {self.hold_time}")
+        if self.padding < 1:
+            raise ConfigError(f"padding must be >= 1, got {self.padding}")
+        if self.storm_factor < 1:
+            raise ConfigError(
+                f"storm_factor must be >= 1, got {self.storm_factor}"
+            )
+        if self.storm_cap < 1:
+            raise ConfigError(f"storm_cap must be >= 1, got {self.storm_cap}")
+
+
+@dataclass(frozen=True)
 class FaultSchedule:
     """Everything that may go wrong in one run, as picklable data.
 
@@ -246,6 +323,10 @@ class FaultSchedule:
     #: A recovering peer polls its catch-up source at this interval until
     #: it has replayed every block it missed while down.
     catchup_poll_interval: float = 0.1
+    #: Misbehaving-client populations (stale replayers, oversized rw-set
+    #: senders, resubmit storms). Membership and behavior draws come from
+    #: dedicated seeded streams, so populations are deterministic.
+    misbehaviors: Tuple[MisbehaviorSpec, ...] = ()
 
     @property
     def is_zero(self) -> bool:
@@ -258,6 +339,7 @@ class FaultSchedule:
             and not self.orderer_crashes
             and not self.partitions
             and self.endorsement_timeout == 0.0
+            and not self.misbehaviors
         )
 
     def to_dict(self) -> Dict[str, object]:
@@ -295,6 +377,7 @@ class FaultSchedule:
             ("stalls", self.stalls),
             ("orderer_crashes", self.orderer_crashes),
             ("partitions", self.partitions),
+            ("misbehaviors", self.misbehaviors),
         ):
             for index, window in enumerate(windows):
                 try:
@@ -349,9 +432,21 @@ def schedule_from_dict(data: Dict[str, object]) -> FaultSchedule:
     """Rebuild a :class:`FaultSchedule` from its ``asdict`` form.
 
     Accepts both tuples (fresh ``asdict``) and lists (after a JSON round
-    trip) for the window collections.
+    trip) for the window collections. Unknown top-level keys raise
+    :class:`ConfigError` naming the key, so a typo in a ``--faults-file``
+    fails loudly instead of silently configuring nothing.
     """
+    from dataclasses import fields as dataclass_fields
+
     data = dict(data)
+    known = {field.name for field in dataclass_fields(FaultSchedule)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        keys = ", ".join(repr(key) for key in unknown)
+        raise ConfigError(
+            f"unknown fault schedule key(s) {keys}; "
+            f"expected a subset of: {', '.join(sorted(known))}"
+        )
     crashes = tuple(
         window if isinstance(window, CrashWindow) else CrashWindow(**window)
         for window in data.pop("crashes", ())
@@ -376,13 +471,44 @@ def schedule_from_dict(data: Dict[str, object]) -> FaultSchedule:
             tuple(group) for group in window.get("groups", ())
         )
         partitions.append(PartitionWindow(**window))
+    misbehaviors = tuple(
+        spec if isinstance(spec, MisbehaviorSpec) else MisbehaviorSpec(**spec)
+        for spec in data.pop("misbehaviors", ())
+    )
     return FaultSchedule(
         crashes=crashes,
         stalls=stalls,
         orderer_crashes=orderer_crashes,
         partitions=tuple(partitions),
+        misbehaviors=misbehaviors,
         **data,
     )
+
+
+def assign_misbehaviors(
+    schedule: FaultSchedule,
+    seed: int,
+    channel_index: int,
+    num_clients: int,
+) -> Dict[int, MisbehaviorSpec]:
+    """Pick which of a channel's clients misbehave, deterministically.
+
+    Each spec selects ``round(fraction * num_clients)`` clients (at least
+    one) from its own seeded stream; when specs overlap on a client, the
+    first spec wins. The assignment depends only on
+    ``(seed, channel_index, spec index)``, never on call order, so it is
+    identical in-process and across sweep workers.
+    """
+    assignment: Dict[int, MisbehaviorSpec] = {}
+    for spec_index, spec in enumerate(schedule.misbehaviors):
+        rng = Rng(
+            mix_seed(seed, MISBEHAVIOR_SEED_SALT, channel_index, spec_index, 0)
+        )
+        count = max(1, round(spec.fraction * num_clients))
+        count = min(count, num_clients)
+        for client_index in rng.sample_distinct(num_clients, count):
+            assignment.setdefault(client_index, spec)
+    return assignment
 
 
 def crash_schedule(

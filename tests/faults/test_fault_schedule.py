@@ -124,6 +124,13 @@ def test_schedule_round_trips_through_json():
     assert schedule_from_dict(data) == schedule
 
 
+def test_unknown_schedule_keys_rejected_by_name():
+    with pytest.raises(ConfigError, match="drop_probabilty"):
+        schedule_from_dict({"drop_probabilty": 0.1})
+    with pytest.raises(ConfigError, match="crashs.*stales"):
+        schedule_from_dict({"stales": [], "crashs": []})
+
+
 def test_crash_schedule_is_deterministic():
     args = (("peer1.OrgA", "peer0.OrgB"), 1.5, 10.0, 0.5, 7)
     assert crash_schedule(*args) == crash_schedule(*args)

@@ -1,0 +1,180 @@
+"""Backpressure end to end: admission, retry, shed, and serialisation."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.bench.results import (
+    config_from_dict,
+    config_to_dict,
+    metrics_from_dict,
+    metrics_to_dict,
+)
+from repro.core.batch_cutter import BatchCutConfig
+from repro.errors import ConfigError
+from repro.fabric.config import BackpressureConfig, FabricConfig
+from repro.fabric.metrics import OverloadStats, TxOutcome
+from repro.fabric.network import FabricNetwork
+from repro.traffic import ArrivalProcess
+from repro.workloads.registry import make_workload
+
+BOUNDED = BackpressureConfig(
+    orderer_queue_limit=128,
+    endorse_queue_limit=48,
+    delivery_backlog_limit=4,
+    client_retries=2,
+)
+
+
+def overload_config(rate: float = 900.0, **overrides) -> FabricConfig:
+    base = dict(
+        batch=BatchCutConfig(max_transactions=64),
+        clients_per_channel=2,
+        client_rate=rate,
+        traffic=ArrivalProcess(kind="poisson"),
+        backpressure=BOUNDED,
+        seed=11,
+    )
+    base.update(overrides)
+    return replace(FabricConfig(), **base)
+
+
+def run(config: FabricConfig, duration: float = 1.0, drain: float = 3.0):
+    workload = make_workload(
+        "smallbank", seed=11, num_users=5000, prob_write=0.95, s_value=0.0
+    )
+    return FabricNetwork(config, workload).run(duration, drain=drain)
+
+
+# -- admission and shedding -----------------------------------------------------
+
+
+def test_default_config_attaches_no_overload_stats():
+    metrics = run(overload_config(rate=100.0, backpressure=BackpressureConfig()))
+    assert metrics.overload is None
+    assert "overload" not in metrics.summary()
+
+
+def test_sustained_overload_sheds_explicitly():
+    metrics = run(overload_config())
+    stats = metrics.overload
+    assert stats is not None
+    shed = metrics.outcomes.get(TxOutcome.OVERLOAD_REJECTED, 0)
+    assert shed > 0
+    assert stats.txs_shed == shed
+    assert stats.client_retries > 0
+    assert stats.endorse_rejections + stats.orderer_rejections > 0
+    # Shedding is a resolution, not a leak: every fired proposal ends.
+    assert metrics.resolved == metrics.fired
+    assert metrics.summary()["overload"]["txs_shed"] == shed
+
+
+def test_delivery_credit_catches_fabric_plus_plus_overload():
+    """Fabric++'s lock-free endorsement never saturates; the validation
+    backlog must propagate to admission through delivery credit."""
+    metrics = run(overload_config().with_fabric_plus_plus())
+    stats = metrics.overload
+    assert stats.delivery_stall_seconds > 0.0
+    assert stats.orderer_rejections > 0
+    assert metrics.outcomes.get(TxOutcome.OVERLOAD_REJECTED, 0) > 0
+    assert metrics.resolved == metrics.fired
+
+
+def test_bounds_are_invisible_at_sustainable_load():
+    bounded = run(overload_config(rate=120.0))
+    unbounded = run(
+        overload_config(rate=120.0, backpressure=BackpressureConfig())
+    )
+    assert bounded.outcomes.get(TxOutcome.OVERLOAD_REJECTED, 0) == 0
+    # Same simulation modulo the (idle) admission bookkeeping.
+    assert bounded.outcomes == unbounded.outcomes
+    assert bounded.commit_latencies == unbounded.commit_latencies
+
+
+def test_overloaded_runs_are_deterministic():
+    first = run(overload_config())
+    second = run(overload_config())
+    assert metrics_to_dict(first) == metrics_to_dict(second)
+
+
+# -- the resubmit_exhausted terminal outcome (satellite) ------------------------
+
+
+def contended_config(**overrides) -> FabricConfig:
+    base = dict(
+        batch=BatchCutConfig(max_transactions=32),
+        clients_per_channel=2,
+        client_rate=120.0,
+        seed=5,
+    )
+    base.update(overrides)
+    return replace(FabricConfig(), **base)
+
+
+def run_contended(config: FabricConfig):
+    workload = make_workload(
+        "smallbank", seed=5, num_users=200, prob_write=0.95, s_value=1.0
+    )
+    return FabricNetwork(config, workload).run(1.0, drain=3.0)
+
+
+def test_resubmit_exhausted_is_a_dedicated_outcome():
+    metrics = run_contended(
+        contended_config(resubmit_failed=True, max_resubmits=1)
+    )
+    exhausted = metrics.outcomes.get(TxOutcome.RESUBMIT_EXHAUSTED, 0)
+    assert exhausted > 0
+    # The counter and the outcome count the same events, and the
+    # exhausted intents are distinct from endorsement timeouts.
+    assert metrics.fault_counters.get("resubmit_capped", 0) == exhausted
+    assert metrics.outcomes.get(TxOutcome.ENDORSEMENT_TIMEOUT, 0) == 0
+    assert metrics.resolved == metrics.fired
+
+
+def test_uncapped_resubmission_never_exhausts():
+    metrics = run_contended(
+        contended_config(resubmit_failed=True, max_resubmits=None)
+    )
+    assert metrics.outcomes.get(TxOutcome.RESUBMIT_EXHAUSTED, 0) == 0
+    assert metrics.fault_counters.get("resubmit_capped", 0) == 0
+
+
+# -- serialisation --------------------------------------------------------------
+
+
+def test_config_round_trips_traffic_and_backpressure():
+    config = overload_config()
+    rebuilt = config_from_dict(config_to_dict(config))
+    assert rebuilt == config
+    assert rebuilt.traffic == ArrivalProcess(kind="poisson")
+    assert rebuilt.backpressure == BOUNDED
+
+
+def test_metrics_round_trip_overload_stats():
+    metrics = run(overload_config())
+    snapshot = metrics_to_dict(metrics)
+    assert "overload" in snapshot
+    rebuilt = metrics_from_dict(snapshot)
+    assert isinstance(rebuilt.overload, OverloadStats)
+    assert rebuilt.overload == metrics.overload
+    assert metrics_to_dict(rebuilt) == snapshot
+
+
+def test_backpressure_validation():
+    with pytest.raises(ConfigError):
+        replace(
+            FabricConfig(),
+            backpressure=BackpressureConfig(orderer_queue_limit=-1),
+        ).validate()
+    with pytest.raises(ConfigError):
+        replace(
+            FabricConfig(),
+            backpressure=BackpressureConfig(delivery_backlog_limit=-1),
+        ).validate()
+    with pytest.raises(ConfigError):
+        replace(
+            FabricConfig(),
+            backpressure=BackpressureConfig(retry_backoff_base=0.0),
+        ).validate()
+    assert BackpressureConfig().is_off
+    assert not BOUNDED.is_off

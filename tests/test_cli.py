@@ -474,6 +474,30 @@ def test_missing_faults_file_is_a_clean_error(tmp_path, capsys):
     assert path in capsys.readouterr().err
 
 
+def test_unknown_faults_file_key_is_named_in_the_error(tmp_path, capsys):
+    path = tmp_path / "typo.json"
+    path.write_text('{"drop_probabilty": 0.1}')
+    exit_code = main(["run", "--faults-file", str(path), "--duration", "1"])
+    err = capsys.readouterr().err
+    assert exit_code == 2
+    assert "drop_probabilty" in err
+    assert str(path) in err
+
+
+def test_faults_file_round_trips_misbehaviors(tmp_path):
+    from repro.faults import FaultSchedule, MisbehaviorSpec
+
+    schedule = FaultSchedule(
+        misbehaviors=(
+            MisbehaviorSpec(kind="resubmit_storm", fraction=0.5, storm_cap=16),
+        )
+    )
+    config = config_from_args(
+        parse(["run", "--faults-file", _schedule_file(tmp_path, schedule)])
+    )
+    assert config.faults == schedule
+
+
 def test_orderer_nodes_flag_forwarded():
     config = config_from_args(parse(["run", "--orderer-nodes", "3"]))
     assert config.orderer_nodes == 3
