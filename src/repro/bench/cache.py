@@ -47,7 +47,10 @@ from repro.bench.spec import ExperimentSpec
 #: the nested traffic (ArrivalProcess) and backpressure
 #: (BackpressureConfig) knobs plus FaultSchedule.misbehaviors (all in
 #: the key via config_to_dict).
-CACHE_FORMAT = 4
+#: 5: configs gained the cc_strategy knob (in the key via
+#: config_to_dict), ValidationStats snapshots gained a "strategy"
+#: field, and outcome tables may carry "abort_occ_ww".
+CACHE_FORMAT = 5
 
 #: Default cache directory, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"

@@ -55,6 +55,7 @@ from repro.errors import ConfigError, ReproError
 from repro.fabric.config import FabricConfig
 from repro.faults import CrashWindow, FaultSchedule, StallWindow
 from repro.traffic import ARRIVAL_KINDS, ArrivalProcess
+from repro.validation.registry import strategy_names
 from repro.workloads.base import Workload
 from repro.workloads.registry import WorkloadRef
 
@@ -80,6 +81,7 @@ SWEEPABLE = {
     "validation-workers": ("validation_workers", int),
     "validation-scheduler": ("validation_scheduler", str),
     "pipeline-depth": ("pipeline_depth", int),
+    "cc-strategy": ("cc_strategy", str),
     "orderer-nodes": ("orderer_nodes", int),
     "traffic": ("traffic", str),
     "arrival-rate": ("arrival_rate", float),
@@ -296,6 +298,12 @@ def _add_system_arguments(sub: argparse.ArgumentParser, with_system: bool) -> No
                      help="blocks in flight per channel: K>1 overlaps "
                           "verification of block n+1 with the commit of "
                           "block n (default 1)")
+    sub.add_argument("--cc-strategy", choices=strategy_names(),
+                     default="serial",
+                     help="concurrency-control strategy for validation/"
+                          "commit (repro.validation.registry): serial "
+                          "(default), dependency waves, lockless OCC, or "
+                          "dependency-aware dataflow execution")
     sub.add_argument("--orderer-nodes", type=int, default=1, metavar="N",
                      help="ordering-service replicas: N>=2 enables the "
                           "Raft-style replicated orderer with leader "
@@ -533,6 +541,7 @@ def config_from_args(args: argparse.Namespace) -> FabricConfig:
         validation_workers=getattr(args, "validation_workers", 1),
         validation_scheduler=getattr(args, "validation_scheduler", "serial"),
         pipeline_depth=getattr(args, "pipeline_depth", 1),
+        cc_strategy=getattr(args, "cc_strategy", "serial"),
         orderer_nodes=getattr(args, "orderer_nodes", 1),
         traffic=traffic_from_args(args),
         backpressure=backpressure_from_args(args),

@@ -287,6 +287,18 @@ class FabricConfig:
     #: Blocks allowed in flight per channel: 1 = verify and commit strictly
     #: alternate; k allows verifying block n+k-1 while block n commits.
     pipeline_depth: int = 1
+    #: Concurrency-control strategy for the validation/commit stage, by
+    #: registry name (``repro.validation.registry``): "serial",
+    #: "dependency", "lockless" (OCC snapshot validation, no write lock,
+    #: first-committer-wins write-write aborts — Meir et al.), or
+    #: "depaware" (conflict-graph dataflow, out-of-arrival-order commits
+    #: — Kaul et al.). The default "serial" defers to
+    #: ``validation_scheduler`` for backward compatibility (see
+    #: :attr:`resolved_cc_strategy`); "lockless" and "depaware" ignore
+    #: ``pipeline_depth``, and "lockless" also ignores
+    #: ``validation_workers`` (its per-transaction cost model folds
+    #: verification like the serial loop).
+    cc_strategy: str = "serial"
 
     #: Cap on Johnson cycle enumeration per block. Dense conflict graphs
     #: contain exponentially many elementary cycles; past roughly a
@@ -315,6 +327,19 @@ class FabricConfig:
             or self.validation_scheduler != "serial"
             or self.pipeline_depth != 1
         )
+
+    @property
+    def resolved_cc_strategy(self) -> str:
+        """The registry name of the CC strategy this config selects.
+
+        An explicit non-default ``cc_strategy`` wins; the default
+        "serial" falls back to ``validation_scheduler``, which named the
+        only two strategies before the registry existed (so old specs
+        and CLI invocations keep their meaning).
+        """
+        if self.cc_strategy != "serial":
+            return self.cc_strategy
+        return self.validation_scheduler
 
     @property
     def is_fabric_plus_plus(self) -> bool:
@@ -353,6 +378,26 @@ class FabricConfig:
             )
         if self.pipeline_depth < 1:
             raise ConfigError("pipeline_depth must be >= 1")
+        # Imported here: the registry lives above the config in the
+        # package graph (its factories build validators around peers).
+        from repro.validation.registry import strategy_names
+
+        if self.cc_strategy not in strategy_names():
+            known = ", ".join(strategy_names())
+            raise ConfigError(
+                f"cc_strategy must be one of {known}; "
+                f"got {self.cc_strategy!r}"
+            )
+        if (
+            self.cc_strategy != "serial"
+            and self.validation_scheduler != "serial"
+            and self.cc_strategy != self.validation_scheduler
+        ):
+            raise ConfigError(
+                f"cc_strategy {self.cc_strategy!r} conflicts with "
+                f"validation_scheduler {self.validation_scheduler!r}; "
+                "set only one of the two knobs"
+            )
         if self.orderer_nodes < 1:
             raise ConfigError("orderer_nodes must be >= 1")
         self.consensus.validate()

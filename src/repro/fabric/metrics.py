@@ -45,6 +45,13 @@ class TxOutcome(enum.Enum):
     #: final failure terminates here instead of the generic abort bucket
     #: (resubmitting runs only).
     RESUBMIT_EXHAUSTED = "resubmit_exhausted"
+    #: Lockless OCC (``cc_strategy="lockless"``): aborted at commit
+    #: because an earlier transaction in the same block already wrote one
+    #: of its keys — the first-committer-wins write-write rule of Meir et
+    #: al. (arXiv:1911.12711). Fabric's native rule instead lets the
+    #: later blind write win, so this outcome only exists under the
+    #: lockless strategy.
+    ABORT_OCC_WW = "abort_occ_ww"
 
     @property
     def is_success(self) -> bool:
@@ -104,8 +111,8 @@ class LatencyStats:
 class ValidationStats:
     """Validation-pipeline counters collected at the reference peer.
 
-    Only attached when the run uses the modelled pipeline
-    (``repro.validation``); default (legacy serial) runs leave
+    Only attached when the run uses a non-default concurrency-control
+    strategy (``repro.validation``); default (legacy serial) runs leave
     :attr:`PipelineMetrics.validation` as ``None`` so their metric
     snapshots stay byte-identical to pre-pipeline builds.
     """
@@ -114,6 +121,11 @@ class ValidationStats:
     workers: int
     scheduler: str
     pipeline_depth: int
+    #: Registry name of the CC strategy that collected the stats
+    #: (``repro.validation.registry``). Empty in snapshots written
+    #: before the registry existed; :meth:`from_dict` then falls back to
+    #: ``scheduler``, which named the only strategies of that era.
+    strategy: str = ""
     #: Blocks / transactions committed through the pipeline.
     blocks: int = 0
     txs: int = 0
@@ -164,6 +176,7 @@ class ValidationStats:
             "workers": self.workers,
             "scheduler": self.scheduler,
             "pipeline_depth": self.pipeline_depth,
+            "strategy": self.strategy or self.scheduler,
             "blocks": self.blocks,
             "txs": self.txs,
             "avg_critical_path": round(self.avg_critical_path(), 2),
@@ -178,6 +191,7 @@ class ValidationStats:
             "workers": self.workers,
             "scheduler": self.scheduler,
             "pipeline_depth": self.pipeline_depth,
+            "strategy": self.strategy,
             "blocks": self.blocks,
             "txs": self.txs,
             "critical_path_total": self.critical_path_total,
@@ -194,6 +208,7 @@ class ValidationStats:
             workers=data["workers"],
             scheduler=data["scheduler"],
             pipeline_depth=data["pipeline_depth"],
+            strategy=data.get("strategy", data["scheduler"]),
             blocks=data["blocks"],
             txs=data["txs"],
             critical_path_total=data["critical_path_total"],

@@ -17,11 +17,11 @@ Resources:
 - ``network`` — message hops (proposal, endorsement, transaction
   submission) and block distribution including gossip hops.
 - ``logic`` — transaction logic: chaincode state operations during
-  simulation and (legacy serial validator) the MVCC conflict check
-  during validation.
-- ``mvcc`` — the MVCC conflict check when the modelled validation
-  pipeline runs it as its own stage (``repro.validation``); the legacy
-  serial validator folds this into ``logic``.
+  simulation.
+- ``mvcc`` — the MVCC conflict check during validation. Every
+  concurrency-control strategy in ``repro.validation`` charges its
+  conflict checks here, so breakdowns are comparable across
+  strategies.
 - ``ordering`` — orderer CPU: per-transaction envelope handling, block
   cutting/consensus, and Fabric++'s reordering computation.
 - ``ledger`` — per-block ledger append / state flush overhead.

@@ -1,18 +1,27 @@
-"""``repro.validation`` — the peer's pluggable validation/commit pipeline.
+"""``repro.validation`` — the peer's pluggable validation/commit stage.
 
 The peer historically validated blocks in a single inline serial loop.
-This package makes that stage pluggable:
+This package makes that stage a pluggable *concurrency-control
+strategy*, dispatched through :mod:`repro.validation.registry`:
 
-- :func:`repro.validation.serial.serial_validator` is that loop, moved
-  verbatim — the default, bit-identical to the pre-pipeline build;
-- :class:`repro.validation.pipeline.PipelinedValidator` is the modelled
-  pipeline: a verify worker pool, an optional dependency-aware MVCC
-  scheduler, and cross-block verify/commit overlap — selected whenever
-  any of ``validation_workers``, ``validation_scheduler``, or
-  ``pipeline_depth`` leaves its default.
+- ``serial`` — :func:`repro.validation.serial.serial_validator`, the
+  legacy loop moved verbatim (the default, bit-identical to the
+  pre-pipeline build), upgraded to
+  :class:`repro.validation.pipeline.PipelinedValidator` with the serial
+  scheduler when ``validation_workers`` / ``pipeline_depth`` are set;
+- ``dependency`` — the modelled pipeline with topological MVCC waves;
+- ``lockless`` — :class:`repro.validation.lockless.LocklessValidator`,
+  OCC snapshot validation with no exclusive write lock and
+  first-committer-wins write-write aborts (Meir et al.,
+  arXiv:1911.12711);
+- ``depaware`` — :class:`repro.validation.depaware.DepAwareValidator`,
+  conflict-graph dataflow execution with out-of-arrival-order commits
+  (Kaul et al., arXiv:2509.07425).
 
-Whatever the configuration, committed ledgers and per-transaction
-outcomes are identical; only simulated timing changes.
+``serial``, ``dependency`` and ``depaware`` produce identical committed
+ledgers and per-transaction outcomes — only simulated timing changes.
+``lockless`` intentionally diverges on intra-block write-write races
+(``abort_occ_ww``); the CC oracle test pins the exact bound.
 """
 
 from __future__ import annotations
@@ -20,6 +29,13 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Generator
 
 from repro.validation.pipeline import PipelinedValidator
+from repro.validation.registry import (
+    StrategyInfo,
+    build_strategy,
+    get_strategy,
+    register_strategy,
+    strategy_names,
+)
 from repro.validation.serial import serial_validator
 from repro.validation.workers import VerifyWorkerPool
 
@@ -28,18 +44,22 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 __all__ = [
     "PipelinedValidator",
+    "StrategyInfo",
     "VerifyWorkerPool",
+    "build_strategy",
     "build_validator",
+    "get_strategy",
+    "register_strategy",
     "serial_validator",
+    "strategy_names",
 ]
 
 
 def build_validator(peer: "Peer", channel: str) -> Generator:
     """Return the validator generator for ``peer`` on ``channel``.
 
-    Dispatches on the configuration: the legacy serial loop for the
-    default knobs, the modelled pipeline otherwise.
+    Dispatches the configuration's resolved CC strategy through the
+    registry; the all-default configuration resolves to the legacy
+    serial loop.
     """
-    if peer.config.uses_validation_pipeline:
-        return PipelinedValidator(peer, channel).run()
-    return serial_validator(peer, channel)
+    return build_strategy(peer.config.resolved_cc_strategy, peer, channel)

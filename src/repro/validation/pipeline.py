@@ -68,14 +68,22 @@ class _VerifiedBlock:
 class PipelinedValidator:
     """Per-channel validation pipeline: fetch/verify stage + commit stage."""
 
-    def __init__(self, peer: "Peer", channel: str) -> None:
+    def __init__(
+        self, peer: "Peer", channel: str, scheduler: Optional[str] = None
+    ) -> None:
         self.peer = peer
         self.channel = channel
         self.pcs = peer.channels[channel]
         self.config = peer.config
         self.costs = peer.config.costs
         self.vanilla = not peer.config.early_abort_simulation
-        self.scheduler = peer.config.validation_scheduler
+        # The CC-strategy registry passes the resolved scheduler
+        # explicitly; direct construction falls back to the config knob.
+        self.scheduler = (
+            scheduler
+            if scheduler is not None
+            else peer.config.validation_scheduler
+        )
         self.pool = peer.verify_pool()
         #: Bounds the number of blocks in flight (verifying or waiting to
         #: commit). Depth 1 makes verify and commit strictly alternate;
@@ -114,7 +122,9 @@ class PipelinedValidator:
                 block = yield pcs.incoming_blocks.get()
                 if block.block_id >= (
                     max(pcs.ledger.tip_block_id, self._last_fetched) + 1
-                ):
+                ) and block.block_id not in pcs.pending_blocks:
+                    # First delivery wins: a re-gossiped duplicate of a
+                    # buffered id must not replace the original block.
                     pcs.pending_blocks[block.block_id] = block
             block = pcs.pending_blocks.pop(expected)
             self._last_fetched = block.block_id
@@ -294,6 +304,7 @@ class PipelinedValidator:
                     block_id=block.block_id,
                     txs=len(block.transactions),
                     committed=committed_in_block,
+                    strategy=self.scheduler,
                     waves=len(waves),
                 )
         finally:
@@ -317,6 +328,7 @@ class PipelinedValidator:
                 workers=self.config.validation_workers,
                 scheduler=self.scheduler,
                 pipeline_depth=self.config.pipeline_depth,
+                strategy=self.scheduler,
             )
         stats = metrics.validation
         stats.blocks += 1

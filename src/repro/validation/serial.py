@@ -5,11 +5,11 @@ a time, one transaction after the other, signature verification folded
 into a single per-transaction CPU charge whose cost model divides the
 verification work by ``CostModel.validation_parallelism`` (an *assumed*
 worker pool). It remains the default because every golden hash in the
-test suite was captured under it — the modelled pipeline in
-:mod:`repro.validation.pipeline` must be opted into via the
-``validation_workers`` / ``validation_scheduler`` / ``pipeline_depth``
-knobs, and the default configuration stays bit-identical to the
-pre-pipeline build.
+test suite was captured under it — every other concurrency-control
+strategy in :mod:`repro.validation.registry` must be opted into via the
+``cc_strategy`` / ``validation_workers`` / ``validation_scheduler`` /
+``pipeline_depth`` knobs, and the default configuration stays
+bit-identical to the pre-pipeline build.
 """
 
 from __future__ import annotations
@@ -20,7 +20,40 @@ from repro.fabric.metrics import TxOutcome
 from repro.ledger.state_db import Version
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.fabric.peer import Peer
+    from repro.fabric.peer import Peer, PeerChannelState
+    from repro.ledger.block import Block
+
+
+def next_expected_block(pcs: "PeerChannelState") -> Generator:
+    """Yield deliveries until the next in-order block is available.
+
+    Delivery may arrive out of order (gossip races); validation must
+    follow block-id order, so early arrivals wait in a reorder buffer.
+    The next expected id is derived from the ledger tip so that recovery
+    catch-up (which appends replayed blocks directly) transparently
+    advances this loop past the blocks it missed. Re-gossiped duplicates
+    of an id that is already buffered are dropped (first delivery wins):
+    a second copy can never legitimately differ, and overwriting would
+    let a late duplicate replace the block the validator is about to
+    pick up.
+    """
+    while True:
+        expected = pcs.ledger.tip_block_id + 1
+        for stale_id in [
+            block_id
+            for block_id in pcs.pending_blocks
+            if block_id < expected
+        ]:
+            del pcs.pending_blocks[stale_id]  # applied via catch-up
+        if expected in pcs.pending_blocks:
+            break
+        block = yield pcs.incoming_blocks.get()
+        if (
+            block.block_id >= pcs.ledger.tip_block_id + 1
+            and block.block_id not in pcs.pending_blocks
+        ):
+            pcs.pending_blocks[block.block_id] = block
+    return pcs.pending_blocks.pop(expected)
 
 
 def serial_validator(peer: "Peer", channel: str) -> Generator:
@@ -28,26 +61,8 @@ def serial_validator(peer: "Peer", channel: str) -> Generator:
     pcs = peer.channels[channel]
     costs = peer.config.costs
     vanilla = not peer.config.early_abort_simulation
-    # Delivery may arrive out of order (gossip races); validation must
-    # follow block-id order, so early arrivals wait in a reorder
-    # buffer. The next expected id is derived from the ledger tip so
-    # that recovery catch-up (which appends replayed blocks directly)
-    # transparently advances this loop past the blocks it missed.
     while True:
-        while True:
-            expected = pcs.ledger.tip_block_id + 1
-            for stale_id in [
-                block_id
-                for block_id in pcs.pending_blocks
-                if block_id < expected
-            ]:
-                del pcs.pending_blocks[stale_id]  # applied via catch-up
-            if expected in pcs.pending_blocks:
-                break
-            block = yield pcs.incoming_blocks.get()
-            if block.block_id >= pcs.ledger.tip_block_id + 1:
-                pcs.pending_blocks[block.block_id] = block
-        block = pcs.pending_blocks.pop(expected)
+        block = yield from next_expected_block(pcs)
         pcs.validating = True
         tracer = peer.tracer
         block_start = peer.env.now
@@ -90,7 +105,7 @@ def serial_validator(peer: "Peer", channel: str) -> Generator:
                         "verify", verify_cost, count=len(tx.endorsements)
                     )
                     tracer.charge(
-                        "logic", costs.mvcc_check * peer.speed_factor
+                        "mvcc", costs.mvcc_check * peer.speed_factor
                     )
                     tracer.span(
                         "tx.validate",
@@ -100,7 +115,7 @@ def serial_validator(peer: "Peer", channel: str) -> Generator:
                         tx_id=tx.tx_id,
                         outcome=outcome.value,
                     )
-                    committed_in_block += 1 if valid else 0
+                committed_in_block += 1 if valid else 0
                 if valid:
                     version = Version(block.block_id, index)
                     if vanilla:
@@ -138,6 +153,7 @@ def serial_validator(peer: "Peer", channel: str) -> Generator:
                     block_id=block.block_id,
                     txs=len(block.transactions),
                     committed=committed_in_block,
+                    strategy="serial",
                 )
         finally:
             pcs.validating = False

@@ -1,0 +1,111 @@
+"""Property-based tests for early abort (hypothesis).
+
+:func:`repro.core.early_abort.filter_stale_within_block` implements the
+paper's corrected Section-5.2.2 rule: within one batch, for every key
+read at more than one version, only the readers of the newest observed
+version survive; reads of an absent key (version ``None``) count as
+older than any concrete version. These properties pin the rule against
+an independent re-statement instead of hand-picked examples.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.early_abort import filter_stale_within_block
+from repro.fabric.rwset import ReadWriteSet
+from repro.ledger.state_db import Version
+
+KEYS = [f"k{i}" for i in range(6)]
+VERSIONS = [None, Version(1, 0), Version(1, 3), Version(2, 0)]
+
+
+@st.composite
+def random_rwset(draw):
+    keys = draw(st.lists(st.sampled_from(KEYS), max_size=4, unique=True))
+    result = ReadWriteSet()
+    for key in keys:
+        result.record_read(key, draw(st.sampled_from(VERSIONS)))
+    for key in draw(st.lists(st.sampled_from(KEYS), max_size=2, unique=True)):
+        result.record_write(key, f"v-{key}")
+    return result
+
+
+random_batch = st.lists(random_rwset(), max_size=12)
+
+
+def newest_versions(batch):
+    """Independent oracle: max observed version per key, None lowest."""
+    newest = {}
+    for rwset in batch:
+        for key, version in rwset.reads.items():
+            rank = (0,) if version is None else (1, version)
+            if key not in newest or rank > newest[key]:
+                newest[key] = rank
+    return newest
+
+
+@given(random_batch)
+@settings(deadline=None)
+def test_kept_plus_aborted_partition_the_batch(batch):
+    kept, aborted = filter_stale_within_block(batch)
+    assert sorted(kept + aborted) == list(range(len(batch)))
+    assert kept == sorted(kept)
+    assert aborted == sorted(aborted)
+
+
+@given(random_batch)
+@settings(deadline=None)
+def test_matches_independent_newest_version_oracle(batch):
+    newest = newest_versions(batch)
+    kept, aborted = filter_stale_within_block(batch)
+    for index, rwset in enumerate(batch):
+        stale = any(
+            ((0,) if version is None else (1, version)) != newest[key]
+            for key, version in rwset.reads.items()
+        )
+        assert (index in aborted) == stale
+
+
+@given(random_batch)
+@settings(deadline=None)
+def test_readers_of_only_newest_versions_survive(batch):
+    """A transaction whose every read saw the newest observed version of
+    its key is never early-aborted — the corrected rule only ever drops
+    the *older*-version reader."""
+    newest = newest_versions(batch)
+    kept, _aborted = filter_stale_within_block(batch)
+    for index, rwset in enumerate(batch):
+        reads_newest = all(
+            ((0,) if version is None else (1, version)) == newest[key]
+            for key, version in rwset.reads.items()
+        )
+        if reads_newest:
+            assert index in kept
+
+
+@given(random_batch)
+@settings(deadline=None)
+def test_filter_is_idempotent_on_survivors(batch):
+    """Survivors agree on every shared key's version, so filtering them
+    again aborts nobody."""
+    kept, _aborted = filter_stale_within_block(batch)
+    survivors = [batch[i] for i in kept]
+    kept_again, aborted_again = filter_stale_within_block(survivors)
+    assert aborted_again == []
+    assert kept_again == list(range(len(survivors)))
+
+
+def test_none_read_is_older_than_any_concrete_version():
+    """Unit pin of the ordering edge: an absent-key read loses to any
+    concrete read of the same key, and ties of absent reads co-exist."""
+    absent = ReadWriteSet()
+    absent.record_read("k", None)
+    concrete = ReadWriteSet()
+    concrete.record_read("k", Version(1, 0))
+    also_absent = ReadWriteSet()
+    also_absent.record_read("k", None)
+
+    kept, aborted = filter_stale_within_block([absent, concrete])
+    assert (kept, aborted) == ([1], [0])
+    kept, aborted = filter_stale_within_block([absent, also_absent])
+    assert (kept, aborted) == ([0, 1], [])

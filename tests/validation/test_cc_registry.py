@@ -1,0 +1,180 @@
+"""The CC-strategy registry and its plumbing: registration API, config
+threading (``cc_strategy`` / ``resolved_cc_strategy``), CLI flag, sweep
+axis, cache fingerprint, and ValidationStats serialisation."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.bench.cache import spec_fingerprint
+from repro.bench.spec import ExperimentSpec
+from repro.cli import SWEEPABLE, build_parser, config_from_args
+from repro.core.batch_cutter import BatchCutConfig
+from repro.errors import ConfigError
+from repro.fabric.config import FabricConfig
+from repro.fabric.metrics import ValidationStats
+from repro.validation.registry import (
+    StrategyInfo,
+    get_strategy,
+    register_strategy,
+    strategy_names,
+)
+from repro.workloads.registry import WorkloadRef
+
+
+def parse(argv):
+    return build_parser().parse_args(argv)
+
+
+# -- registry API ----------------------------------------------------------
+
+
+def test_builtin_strategies_are_registered():
+    assert strategy_names() == ("depaware", "dependency", "lockless", "serial")
+
+
+def test_get_strategy_returns_info_with_description():
+    info = get_strategy("lockless")
+    assert isinstance(info, StrategyInfo)
+    assert info.name == "lockless"
+    assert info.description
+    assert info.divergence  # lockless documents its abort-set divergence
+
+
+def test_equivalent_strategies_declare_no_divergence():
+    for name in ("serial", "dependency", "depaware"):
+        assert get_strategy(name).divergence == ""
+
+
+def test_get_strategy_rejects_unknown_name():
+    with pytest.raises(ConfigError, match="optimistic"):
+        get_strategy("optimistic")
+
+
+def test_register_strategy_rejects_duplicates():
+    with pytest.raises(ConfigError, match="serial"):
+        register_strategy(
+            "serial", lambda peer, channel: iter(()), description="imposter"
+        )
+
+
+# -- config threading ------------------------------------------------------
+
+
+def test_default_config_resolves_to_serial():
+    config = FabricConfig()
+    config.validate()
+    assert config.cc_strategy == "serial"
+    assert config.resolved_cc_strategy == "serial"
+
+
+def test_cc_strategy_overrides_resolution():
+    config = replace(FabricConfig(), cc_strategy="lockless")
+    config.validate()
+    assert config.resolved_cc_strategy == "lockless"
+
+
+def test_serial_cc_strategy_defers_to_legacy_scheduler_knob():
+    config = replace(FabricConfig(), validation_scheduler="dependency")
+    config.validate()
+    assert config.resolved_cc_strategy == "dependency"
+
+
+def test_config_rejects_unknown_cc_strategy():
+    config = replace(FabricConfig(), cc_strategy="optimistic")
+    with pytest.raises(ConfigError, match="cc_strategy"):
+        config.validate()
+
+
+def test_config_rejects_conflicting_cc_knobs():
+    config = replace(
+        FabricConfig(),
+        cc_strategy="lockless",
+        validation_scheduler="dependency",
+    )
+    with pytest.raises(ConfigError, match="conflicts"):
+        config.validate()
+
+
+def test_matching_cc_knobs_are_not_a_conflict():
+    config = replace(
+        FabricConfig(),
+        cc_strategy="dependency",
+        validation_scheduler="dependency",
+    )
+    config.validate()
+    assert config.resolved_cc_strategy == "dependency"
+
+
+# -- CLI -------------------------------------------------------------------
+
+
+def test_cli_forwards_cc_strategy():
+    config = config_from_args(parse(["run", "--cc-strategy", "lockless"]))
+    assert config.cc_strategy == "lockless"
+    assert config.resolved_cc_strategy == "lockless"
+
+
+def test_cli_default_cc_strategy_keeps_legacy_validator():
+    config = config_from_args(parse(["run"]))
+    assert config.cc_strategy == "serial"
+    assert not config.uses_validation_pipeline
+
+
+def test_cli_rejects_unknown_cc_strategy():
+    with pytest.raises(SystemExit):
+        parse(["run", "--cc-strategy", "optimistic"])
+
+
+def test_cc_strategy_is_sweepable():
+    assert "cc-strategy" in SWEEPABLE
+    field, caster = SWEEPABLE["cc-strategy"]
+    assert field == "cc_strategy"
+    assert caster("lockless") == "lockless"
+
+
+# -- cache fingerprint -----------------------------------------------------
+
+
+def small_spec(config):
+    return ExperimentSpec(
+        config=config, workload=WorkloadRef("blank"), duration=1.0
+    )
+
+
+def test_fingerprint_distinguishes_cc_strategies():
+    base = replace(
+        FabricConfig(),
+        clients_per_channel=1,
+        client_rate=100.0,
+        batch=BatchCutConfig(max_transactions=32),
+    )
+    variants = [base] + [
+        replace(base, cc_strategy=name)
+        for name in ("lockless", "depaware", "dependency")
+    ]
+    fingerprints = [spec_fingerprint(small_spec(c)) for c in variants]
+    assert len(set(fingerprints)) == len(fingerprints)
+
+
+# -- ValidationStats serialisation -----------------------------------------
+
+
+def test_validation_stats_strategy_round_trip():
+    stats = ValidationStats(
+        workers=2, scheduler="lockless", pipeline_depth=1, strategy="lockless"
+    )
+    data = stats.to_dict()
+    assert data["strategy"] == "lockless"
+    assert ValidationStats.from_dict(data) == stats
+
+
+def test_validation_stats_strategy_defaults_to_scheduler_on_old_snapshots():
+    stats = ValidationStats(workers=4, scheduler="dependency", pipeline_depth=2)
+    data = stats.to_dict()
+    del data["strategy"]  # snapshot written before the field existed
+    restored = ValidationStats.from_dict(data)
+    assert restored.strategy == "dependency"
+    assert restored.summary(duration=1.0)["strategy"] == "dependency"
