@@ -111,6 +111,12 @@ def run_grid():
                 "failed_tps": round(result.failed_tps, 2),
                 "abort_mvcc": outcomes.get(TxOutcome.ABORT_MVCC, 0),
                 "abort_occ_ww": outcomes.get(TxOutcome.ABORT_OCC_WW, 0),
+                "early_abort": (
+                    outcomes.get(TxOutcome.EARLY_ABORT_SIM, 0)
+                    + outcomes.get(TxOutcome.EARLY_ABORT_CYCLE, 0)
+                    + outcomes.get(TxOutcome.EARLY_ABORT_VERSION, 0)
+                ),
+                "overload": outcomes.get(TxOutcome.OVERLOAD_REJECTED, 0),
             }
         )
     write_artifact(rows)
@@ -149,7 +155,8 @@ def test_cc_zoo_grid(benchmark):
         print(
             "  {strategy:10s} {contention:4s} w={workers}: "
             "tps={committed_tps:7.1f} failed={failed_tps:6.1f} "
-            "mvcc={abort_mvcc:4d} occ-ww={abort_occ_ww:4d}".format(**row)
+            "mvcc={abort_mvcc:4d} occ-ww={abort_occ_ww:4d} "
+            "early={early_abort:4d} overload={overload:4d}".format(**row)
         )
 
     assert len(rows) == len(strategy_names()) * 2 * len(WORKER_COUNTS)
@@ -176,3 +183,20 @@ def test_cc_zoo_grid(benchmark):
     for row in rows:
         if row["strategy"] != "lockless":
             assert row["abort_occ_ww"] == 0, row
+
+    # Abort-class sanity: the whole grid runs vanilla Fabric under
+    # closed-loop traffic, so the early-abort classes (a Fabric++
+    # feature) and admission-control rejections never fire here. The
+    # columns exist so artifact consumers get the full breakdown.
+    for row in rows:
+        assert row["early_abort"] == 0, row
+        assert row["overload"] == 0, row
+
+    # Under high contention, MVCC aborts dominate for every strategy
+    # that holds the commit-path write lock.
+    for strategy in strategy_names():
+        if strategy == "lockless":
+            continue
+        high = cell(rows, strategy, "high", 1)
+        low = cell(rows, strategy, "low", 1)
+        assert high["abort_mvcc"] > low["abort_mvcc"], (low, high)

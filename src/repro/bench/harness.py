@@ -63,6 +63,11 @@ def run_experiment_with_network(
 ) -> "tuple[ExperimentResult, FabricNetwork]":
     """Run one spec and return the result *and* the live network.
 
+    Sharded specs (``config.channels >= 2``) return a
+    :class:`repro.channels.ShardedNetwork` instead of a
+    :class:`FabricNetwork`; both expose ``peers``/``orderers``/
+    ``channels``, and the sharded fleet adds ``runtimes``.
+
     The network gives callers post-run access to the peers — for ledger
     export (``repro-bench run --export-ledger``), crash-recovery oracle
     checks, and fault forensics. Plain sweeps should use
@@ -73,7 +78,11 @@ def run_experiment_with_network(
     so cache fingerprints are unaffected.
     """
     config = spec.resolved_config()
-    network = FabricNetwork(config, spec.build_workload(), tracer=tracer)
+    # Imported here: repro.channels sits above the fabric layer, and the
+    # bench package is imported by modules repro.channels depends on.
+    from repro.channels import build_network
+
+    network = build_network(config, spec.build_workload(), tracer=tracer)
     metrics = network.run(duration=spec.duration, drain=spec.drain)
     result = ExperimentResult(
         label=spec.resolved_label(),

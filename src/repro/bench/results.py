@@ -22,6 +22,7 @@ from repro.fabric.config import (
     ConsensusConfig,
     CostModel,
     FabricConfig,
+    PopulationConfig,
 )
 from repro.fabric.metrics import PipelineMetrics, TxOutcome
 from repro.faults import schedule_from_dict
@@ -80,6 +81,10 @@ def config_from_dict(data: Dict[str, object]) -> FabricConfig:
     # Absent in pre-overload snapshots.
     traffic = ArrivalProcess(**data.pop("traffic", {}))
     backpressure = BackpressureConfig(**data.pop("backpressure", {}))
+    # Absent in pre-channel snapshots.
+    population = PopulationConfig(**data.pop("population", {}))
+    if "channel_cc_strategies" in data:
+        data["channel_cc_strategies"] = tuple(data["channel_cc_strategies"])
     return FabricConfig(
         batch=batch,
         costs=costs,
@@ -87,6 +92,7 @@ def config_from_dict(data: Dict[str, object]) -> FabricConfig:
         consensus=consensus,
         traffic=traffic,
         backpressure=backpressure,
+        population=population,
         **data,
     )
 
@@ -122,6 +128,8 @@ def metrics_to_dict(metrics: PipelineMetrics) -> Dict[str, object]:
         snapshot["consensus"] = metrics.consensus.to_dict()
     if metrics.overload is not None:
         snapshot["overload"] = metrics.overload.to_dict()
+    if metrics.channels is not None:
+        snapshot["channels"] = metrics.channels.to_dict()
     return snapshot
 
 
@@ -158,6 +166,10 @@ def metrics_from_dict(data: Dict[str, object]) -> PipelineMetrics:
         from repro.fabric.metrics import OverloadStats
 
         metrics.overload = OverloadStats.from_dict(data["overload"])
+    if "channels" in data:
+        from repro.fabric.metrics import ChannelFleetStats
+
+        metrics.channels = ChannelFleetStats.from_dict(data["channels"])
     return metrics
 
 
@@ -252,6 +264,39 @@ class ResultSet:
     def rows(self) -> List[Dict[str, object]]:
         """Flat dict-rows for report tables, in run order."""
         return [result.row() for result in self.results]
+
+    def channel_rows(self) -> List[Dict[str, object]]:
+        """Per-channel breakdown rows of every sharded result.
+
+        Each sharded result contributes one ``channel="fleet"`` row (the
+        aggregate, with the saga counters inlined) followed by its
+        per-channel rows; single-runtime results contribute nothing.
+        """
+        rows: List[Dict[str, object]] = []
+        for result in self.results:
+            fleet = result.metrics.channels
+            if fleet is None:
+                continue
+            rows.append(
+                {
+                    "label": result.label,
+                    **result.params,
+                    "channel": "fleet",
+                    "fired": result.metrics.fired,
+                    "successful": result.metrics.successful,
+                    "failed": result.metrics.failed,
+                    "successful_tps": round(result.metrics.successful_tps(), 2),
+                    "failed_tps": round(result.metrics.failed_tps(), 2),
+                    "blocks": result.metrics.blocks_committed,
+                    **{
+                        f"saga_{key}": value
+                        for key, value in fleet.saga.summary().items()
+                    },
+                }
+            )
+            for row in fleet.per_channel:
+                rows.append({"label": result.label, **result.params, **row})
+        return rows
 
     def to_json(self) -> str:
         """Serialise every result (full metrics) to a JSON document."""

@@ -1,0 +1,40 @@
+"""Multi-channel sharded Fabric (``repro.channels``).
+
+Fabric scales horizontally by *channels*: independent chains with their
+own ordering service and peer subset (Androulaki et al.,
+arXiv:1801.10228). This package turns ``FabricConfig.channels >= 2``
+into that deployment shape inside one deterministic simulation:
+
+- :class:`~repro.channels.topology.ChannelTopology` maps orgs and peers
+  to channels and owns the qualified peer namespace
+  (``peer0.OrgB.ch2``) fault schedules use;
+- :class:`~repro.channels.population.ClientPopulation` models a large
+  (think millions) logical account population with Zipf channel
+  affinity, lazily — O(channels) memory regardless of size;
+- :class:`~repro.channels.saga.SagaRouter` implements cross-channel
+  transactions as two independent legs with **no atomicity guarantee**,
+  surfacing half-committed sagas as a terminal outcome;
+- :class:`~repro.channels.network.ShardedNetwork` wires one
+  ``FabricNetwork`` runtime per channel into a shared environment and
+  aggregates per-channel metrics into fleet-level
+  :class:`~repro.fabric.metrics.PipelineMetrics`.
+
+:func:`build_network` is the dispatch point the bench harness uses:
+``channels == 1`` keeps the legacy single-runtime
+:class:`~repro.fabric.network.FabricNetwork` bit-identical.
+"""
+
+from __future__ import annotations
+
+from repro.channels.network import ShardedNetwork, build_network
+from repro.channels.population import ClientPopulation
+from repro.channels.saga import SagaRouter
+from repro.channels.topology import ChannelTopology
+
+__all__ = [
+    "ChannelTopology",
+    "ClientPopulation",
+    "SagaRouter",
+    "ShardedNetwork",
+    "build_network",
+]

@@ -1,0 +1,408 @@
+"""The sharded fleet: one ``FabricNetwork`` runtime per channel.
+
+:class:`ShardedNetwork` turns ``FabricConfig.channels >= 2`` into N
+*independent* channel runtimes — each with its own peer subset, its own
+ordering service (or Raft cluster), its own ledger and CC strategy —
+embedded in ONE shared :class:`~repro.sim.engine.Environment`, so the
+whole fleet advances on a single deterministic event clock.
+
+Each runtime is an unmodified :class:`~repro.fabric.network.FabricNetwork`
+built from a derived single-channel config:
+
+- its seed is ``mix_seed(fleet_seed, CHANNEL_SEED_SALT, channel)``, so
+  per-channel streams are decorrelated from each other and from any
+  single-channel run;
+- its one channel is named ``ch<i>`` (the *global* channel name), which
+  makes client identities (``client0.ch2``) and transaction ids
+  fleet-unique without touching the client code;
+- its fault schedule is the fleet schedule *routed*: crash windows
+  addressed to ``peer1.OrgB.ch2`` reach runtime 2 as ``peer1.OrgB``,
+  channel-isolation partitions become quorumless singleton partitions
+  (clustered orderer) or stall windows (single orderer) on the listed
+  runtimes only, and shared knobs (loss, jitter, misbehavior) are
+  copied to every runtime.
+
+:func:`build_network` is the dispatch point for the bench harness and
+CLI: ``channels == 1`` returns the legacy single-runtime network
+untouched, keeping the default path bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigError
+from repro.fabric.config import (
+    CHANNEL_SEED_SALT,
+    FabricConfig,
+    PopulationConfig,
+)
+from repro.fabric.metrics import (
+    ChannelFleetStats,
+    ConsensusStats,
+    OverloadStats,
+    PipelineMetrics,
+    SagaStats,
+    TxOutcome,
+    ValidationStats,
+)
+from repro.fabric.network import FabricNetwork, WorkloadSpec
+from repro.fabric.policy import EndorsementPolicy
+from repro.faults import FaultSchedule, PartitionWindow, StallWindow
+from repro.channels.population import ClientPopulation
+from repro.channels.saga import SagaRouter
+from repro.channels.topology import ChannelTopology
+from repro.sim.distributions import mix_seed
+from repro.sim.engine import Environment
+from repro.trace.tracer import Tracer
+
+
+def route_faults(
+    config: FabricConfig, topology: ChannelTopology
+) -> List[FaultSchedule]:
+    """Split the fleet fault schedule into one schedule per channel.
+
+    Crash windows are addressed in the qualified namespace
+    (``peer<i>.<org>.ch<k>``) and land only on their channel, renamed to
+    the base peer name the runtime knows. Channel-isolation partitions
+    (``channels=(...)``) are converted per listed runtime: a clustered
+    orderer is split into all-singleton groups (no quorum anywhere), a
+    single orderer simply stalls. Node-group partitions, stalls and all
+    scalar knobs apply to every channel unchanged.
+    """
+    count = topology.channels
+    crashes: List[List[object]] = [[] for _ in range(count)]
+    for window in config.faults.crashes:
+        index, base = topology.route_peer(window.peer)
+        crashes[index].append(replace(window, peer=base))
+    stalls: List[List[object]] = [list(config.faults.stalls) for _ in range(count)]
+    partitions: List[List[object]] = [[] for _ in range(count)]
+    for window in config.faults.partitions:
+        if window.channels:
+            for channel in window.channels:
+                if config.orderer_nodes >= 2:
+                    partitions[channel].append(
+                        PartitionWindow(
+                            at=window.at,
+                            duration=window.duration,
+                            groups=tuple(
+                                (node,) for node in range(config.orderer_nodes)
+                            ),
+                        )
+                    )
+                else:
+                    stalls[channel].append(
+                        StallWindow(at=window.at, duration=window.duration)
+                    )
+        else:
+            for channel in range(count):
+                partitions[channel].append(window)
+    return [
+        replace(
+            config.faults,
+            crashes=tuple(crashes[channel]),
+            stalls=tuple(stalls[channel]),
+            partitions=tuple(partitions[channel]),
+        )
+        for channel in range(count)
+    ]
+
+
+def channel_config(
+    config: FabricConfig,
+    channel: int,
+    faults: FaultSchedule,
+    population: Optional[ClientPopulation],
+) -> FabricConfig:
+    """The derived single-channel config runtime ``channel`` is built from."""
+    return replace(
+        config,
+        channels=1,
+        num_channels=1,
+        cross_channel_fraction=0.0,
+        channel_cc_strategies=(),
+        population=PopulationConfig(),
+        cc_strategy=(
+            config.channel_cc_strategies[channel]
+            if config.channel_cc_strategies
+            else config.cc_strategy
+        ),
+        faults=faults,
+        client_rate=(
+            population.client_rate_for(channel, config.client_rate)
+            if population is not None
+            else config.client_rate
+        ),
+        seed=mix_seed(config.seed, CHANNEL_SEED_SALT, channel),
+    )
+
+
+class ShardedNetwork:
+    """N independent channel runtimes sharing one deterministic clock."""
+
+    def __init__(
+        self,
+        config: FabricConfig,
+        workload: WorkloadSpec,
+        policy: Optional[EndorsementPolicy] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        config.validate()
+        if not config.uses_sharding:
+            raise ConfigError(
+                "ShardedNetwork requires channels >= 2; "
+                "use FabricNetwork (or build_network) for single-channel runs"
+            )
+        self.config = config
+        self.env = Environment()
+        self.tracer = tracer
+        if tracer is not None:
+            tracer.bind(self.env)
+        self.topology = ChannelTopology.for_config(config)
+        self.population: Optional[ClientPopulation] = None
+        if not config.population.is_off:
+            self.population = ClientPopulation(
+                config.population, config.channels, config.seed
+            )
+        routed = route_faults(config, self.topology)
+        self.runtimes: List[FabricNetwork] = []
+        for channel in range(config.channels):
+            runtime = FabricNetwork(
+                channel_config(config, channel, routed[channel], self.population),
+                workload(channel) if callable(workload) else workload,
+                policy=policy,
+                tracer=tracer,
+                env=self.env,
+                channel_names=(self.topology.channel_names[channel],),
+            )
+            self.runtimes.append(runtime)
+        self.saga: Optional[SagaRouter] = None
+        if config.cross_channel_fraction > 0:
+            self.saga = SagaRouter(
+                config.cross_channel_fraction, config.seed, self.runtimes
+            )
+        self.metrics = PipelineMetrics()
+
+    # -- facade over the runtimes ---------------------------------------------
+
+    @property
+    def channels(self) -> List[str]:
+        """Global channel names, in channel order."""
+        return [runtime.channels[0] for runtime in self.runtimes]
+
+    @property
+    def peers(self):
+        """Every peer of every runtime, in channel order."""
+        return [peer for runtime in self.runtimes for peer in runtime.peers]
+
+    @property
+    def orderers(self):
+        """Channel-name -> ordering service, across the fleet."""
+        merged = {}
+        for runtime in self.runtimes:
+            merged.update(runtime.orderers)
+        return merged
+
+    @property
+    def _pending(self) -> Dict[str, object]:
+        """Unresolved transactions across the fleet (liveness checks)."""
+        merged: Dict[str, object] = {}
+        for runtime in self.runtimes:
+            merged.update(runtime._pending)
+        return merged
+
+    # -- running --------------------------------------------------------------
+
+    def run(self, duration: float, drain: float = 3.0) -> PipelineMetrics:
+        """Fire every channel's workload for ``duration`` simulated seconds.
+
+        All runtimes start at t=0 on the shared clock; the environment is
+        run exactly once for the whole fleet. Returns the aggregated
+        fleet metrics (per-channel rows + saga accounting attached as
+        :attr:`PipelineMetrics.channels`); per-channel metrics stay
+        available as ``network.runtimes[i].metrics``.
+        """
+        if duration <= 0:
+            raise ConfigError("duration must be > 0")
+        for runtime in self.runtimes:
+            runtime.begin(duration)
+        if self.tracer is not None:
+            from repro.crypto import signing
+
+            previous = signing.set_trace_recorder(self.tracer.record_crypto_op)
+            try:
+                self.env.run(until=duration + drain)
+            finally:
+                signing.set_trace_recorder(previous)
+        else:
+            self.env.run(until=duration + drain)
+        for runtime in self.runtimes:
+            runtime.metrics.duration = duration
+        self.metrics = self._aggregate(duration)
+        if self.tracer is not None:
+            self.metrics.cost_breakdown = self.tracer.breakdown
+        return self.metrics
+
+    # -- aggregation ----------------------------------------------------------
+
+    def _aggregate(self, duration: float) -> PipelineMetrics:
+        """Fold the per-channel metrics into one fleet-level object.
+
+        Scalar counters sum; sample lists concatenate in channel order;
+        timestamped series merge by time (stable sort, so simultaneous
+        events keep channel order). Saga half-commits are added on top of
+        the per-leg outcomes — the fleet's ``resolved`` can therefore
+        exceed ``fired``, which is the honest reading: one saga is one
+        intent with three terminal facts (two legs + the saga itself).
+        """
+        fleet = PipelineMetrics()
+        fleet.duration = duration
+        per_channel: List[Dict[str, object]] = []
+        for channel, runtime in enumerate(self.runtimes):
+            metrics = runtime.metrics
+            for outcome, count in metrics.outcomes.items():
+                fleet.outcomes[outcome] += count
+            fleet.commit_latencies.extend(metrics.commit_latencies)
+            fleet.phase_latencies.extend(metrics.phase_latencies)
+            fleet.block_sizes.extend(metrics.block_sizes)
+            fleet.fired += metrics.fired
+            fleet.blocks_committed += metrics.blocks_committed
+            for counter, amount in metrics.fault_counters.items():
+                fleet.record_fault(counter, amount)
+            name = runtime.channels[0]
+            for time, kind, subject in metrics.fault_events:
+                if name not in subject:
+                    subject = f"{subject}.{name}"
+                fleet.fault_events.append((time, kind, subject))
+            row: Dict[str, object] = {
+                "channel": name,
+                "cc_strategy": runtime.config.resolved_cc_strategy,
+                "fired": metrics.fired,
+                "successful": metrics.successful,
+                "failed": metrics.failed,
+                "successful_tps": round(metrics.successful_tps(), 2),
+                "failed_tps": round(metrics.failed_tps(), 2),
+                "blocks": metrics.blocks_committed,
+            }
+            if self.population is not None:
+                row["affinity"] = round(
+                    self.population.channel_weight(channel), 4
+                )
+                row["accounts"] = self.population.channel_accounts(channel)
+            per_channel.append(row)
+
+        times = [
+            event
+            for runtime in self.runtimes
+            for event in runtime.metrics.outcome_times
+        ]
+        if self.saga is not None:
+            fleet.outcomes[TxOutcome.SAGA_HALF_COMMITTED] += (
+                self.saga.stats.half_committed
+            )
+            times.extend(self.saga.events)
+        times.sort(key=lambda event: event[0])
+        fleet.outcome_times = times
+        fleet.fault_events.sort(key=lambda event: event[0])
+
+        fleet.validation = self._merge_validation()
+        fleet.consensus = self._merge_consensus()
+        fleet.overload = self._merge_overload()
+        fleet.channels = ChannelFleetStats(
+            channels=len(self.runtimes),
+            per_channel=per_channel,
+            saga=self.saga.stats if self.saga is not None else SagaStats(),
+        )
+        return fleet
+
+    def _merge_validation(self) -> Optional[ValidationStats]:
+        stats = [
+            runtime.metrics.validation
+            for runtime in self.runtimes
+            if runtime.metrics.validation is not None
+        ]
+        if not stats:
+            return None
+        first = stats[0]
+        merged = ValidationStats(
+            workers=first.workers,
+            scheduler=first.scheduler,
+            pipeline_depth=first.pipeline_depth,
+            strategy=first.strategy,
+        )
+        for entry in stats:
+            merged.blocks += entry.blocks
+            merged.txs += entry.txs
+            merged.critical_path_total += entry.critical_path_total
+            merged.verify_tasks += entry.verify_tasks
+            merged.queue_delay_total += entry.queue_delay_total
+            merged.lane_busy.extend(entry.lane_busy)
+            merged.horizon = max(merged.horizon, entry.horizon)
+        return merged
+
+    def _merge_consensus(self) -> Optional[ConsensusStats]:
+        stats = [
+            runtime.metrics.consensus
+            for runtime in self.runtimes
+            if runtime.metrics.consensus is not None
+        ]
+        if not stats:
+            return None
+        merged = ConsensusStats(nodes=stats[0].nodes)
+        for entry in stats:
+            merged.elections_started += entry.elections_started
+            merged.leader_changes += entry.leader_changes
+            merged.max_term = max(merged.max_term, entry.max_term)
+            merged.messages_sent += entry.messages_sent
+            merged.messages_dropped += entry.messages_dropped
+            merged.entries_proposed += entry.entries_proposed
+            merged.entries_committed += entry.entries_committed
+            merged.txs_reproposed += entry.txs_reproposed
+            merged.duplicate_txs_suppressed += entry.duplicate_txs_suppressed
+        return merged
+
+    def _merge_overload(self) -> Optional[OverloadStats]:
+        stats = [
+            runtime.metrics.overload
+            for runtime in self.runtimes
+            if runtime.metrics.overload is not None
+        ]
+        if not stats:
+            return None
+        merged = OverloadStats(
+            orderer_queue_limit=stats[0].orderer_queue_limit,
+            endorse_queue_limit=stats[0].endorse_queue_limit,
+        )
+        for entry in stats:
+            merged.submissions += entry.submissions
+            merged.orderer_rejections += entry.orderer_rejections
+            merged.endorse_rejections += entry.endorse_rejections
+            merged.client_retries += entry.client_retries
+            merged.txs_shed += entry.txs_shed
+            merged.queue_depth_peak = max(
+                merged.queue_depth_peak, entry.queue_depth_peak
+            )
+            merged.queue_depth_sum += entry.queue_depth_sum
+            merged.endorse_inflight_peak = max(
+                merged.endorse_inflight_peak, entry.endorse_inflight_peak
+            )
+            merged.delivery_stall_seconds += entry.delivery_stall_seconds
+        return merged
+
+
+def build_network(
+    config: FabricConfig,
+    workload: WorkloadSpec,
+    policy: Optional[EndorsementPolicy] = None,
+    tracer: Optional[Tracer] = None,
+):
+    """Build the network a config describes: sharded fleet or legacy.
+
+    ``channels == 1`` constructs the classic single-runtime
+    :class:`~repro.fabric.network.FabricNetwork` exactly as before — the
+    bit-identity anchor the golden-hash tests pin down.
+    """
+    if config.uses_sharding:
+        return ShardedNetwork(config, workload, policy=policy, tracer=tracer)
+    return FabricNetwork(config, workload, policy=policy, tracer=tracer)

@@ -1,0 +1,146 @@
+"""A lazily-materialised client population with Zipf channel affinity.
+
+The production deployments the paper's Fabric++ optimisations would ship
+into serve *millions* of accounts spread unevenly across channels. This
+module models that population without ever materialising it: channel
+affinity weights, per-channel account ranges and account-to-channel
+lookups are all computed from seeded streams and closed-form
+apportionment, so memory stays O(channels) whether the population is a
+thousand accounts or a hundred million.
+
+The affinity model composes with :mod:`repro.traffic`: a channel holding
+``w`` of the account mass receives ``w`` of the fleet's client load, so
+the sharded network scales each runtime's ``client_rate`` by
+``channels * w`` — which feeds straight into the closed-loop pacing or
+the open-loop :class:`~repro.traffic.ArrivalSampler`, whatever the
+configured arrival process is.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.errors import ConfigError
+from repro.fabric.config import PopulationConfig
+from repro.sim.distributions import Rng, mix_seed
+
+#: Seed salt separating the population's rank permutation (and any
+#: account-sampling stream derived here) from every other stream.
+POPULATION_SEED_SALT = 0x90B5
+
+
+def _zipf_weights(channels: int, s_value: float, seed: int) -> Tuple[float, ...]:
+    """Per-channel account-mass weights, summing to 1.0.
+
+    Rank ``r`` (1-based) carries mass proportional to ``1 / r**s``; the
+    rank-to-channel mapping is a seeded permutation so the "hot" channel
+    is a deterministic function of the seed, not always channel 0.
+    """
+    raw = [1.0 / (rank ** s_value) for rank in range(1, channels + 1)]
+    total = sum(raw)
+    permutation = Rng(mix_seed(seed, POPULATION_SEED_SALT, 0)).sample_distinct(
+        channels, channels
+    )
+    weights = [0.0] * channels
+    for channel, rank in enumerate(permutation):
+        weights[channel] = raw[rank] / total
+    return tuple(weights)
+
+
+def _apportion(accounts: int, weights: Tuple[float, ...]) -> List[int]:
+    """Largest-remainder apportionment of ``accounts`` over ``weights``."""
+    quotas = [accounts * weight for weight in weights]
+    counts = [int(quota) for quota in quotas]
+    leftover = accounts - sum(counts)
+    by_remainder = sorted(
+        range(len(weights)),
+        key=lambda index: (-(quotas[index] - counts[index]), index),
+    )
+    for index in by_remainder[:leftover]:
+        counts[index] += 1
+    return counts
+
+
+@dataclass(frozen=True)
+class ClientPopulation:
+    """The account population of one sharded run, computed lazily.
+
+    Accounts are numbered ``0 .. accounts-1`` and assigned to channels in
+    contiguous ranges (channel order), sized by the Zipf affinity
+    weights. Lookups run in O(log channels) via bisect; nothing of size
+    O(accounts) is ever allocated. Instances are plain frozen dataclasses
+    of a few integers per channel and pickle cleanly across sweep
+    workers.
+    """
+
+    config: PopulationConfig
+    channels: int
+    seed: int
+    _weights: Tuple[float, ...] = field(init=False, repr=False, default=())
+    _starts: Tuple[int, ...] = field(init=False, repr=False, default=())
+
+    def __post_init__(self) -> None:
+        if self.channels < 2:
+            raise ConfigError("a client population requires channels >= 2")
+        if self.config.is_off:
+            raise ConfigError(
+                "ClientPopulation needs a PopulationConfig with accounts > 0"
+            )
+        weights = _zipf_weights(self.channels, self.config.zipf_s, self.seed)
+        counts = _apportion(self.config.accounts, weights)
+        starts = [0]
+        for count in counts:
+            starts.append(starts[-1] + count)
+        object.__setattr__(self, "_weights", weights)
+        object.__setattr__(self, "_starts", tuple(starts))
+
+    @property
+    def accounts(self) -> int:
+        """Total logical accounts."""
+        return self.config.accounts
+
+    def channel_weight(self, channel: int) -> float:
+        """Fraction of the account mass homed on ``channel``."""
+        return self._weights[channel]
+
+    def channel_accounts(self, channel: int) -> int:
+        """Number of accounts homed on ``channel``."""
+        return self._starts[channel + 1] - self._starts[channel]
+
+    def channel_range(self, channel: int) -> Tuple[int, int]:
+        """The half-open ``[start, end)`` account-id range of ``channel``."""
+        return self._starts[channel], self._starts[channel + 1]
+
+    def account_home(self, account_id: int) -> int:
+        """The channel an account id is homed on (O(log channels))."""
+        if not 0 <= account_id < self.accounts:
+            raise ConfigError(
+                f"account id {account_id} outside [0, {self.accounts})"
+            )
+        return bisect.bisect_right(self._starts, account_id) - 1
+
+    def sample_account(self, channel: int, rng: Rng) -> int:
+        """Draw one account homed on ``channel`` from ``rng``.
+
+        Uniform within the channel — key-level skew stays a *workload*
+        concern; this model only decides channel affinity.
+        """
+        start, end = self.channel_range(channel)
+        if start == end:
+            raise ConfigError(
+                f"channel {channel} holds no accounts "
+                f"({self.accounts} accounts over {self.channels} channels)"
+            )
+        return rng.randint(start, end - 1)
+
+    def client_rate_for(self, channel: int, base_rate: float) -> float:
+        """Per-client firing rate on ``channel``.
+
+        The fleet-wide offered load is preserved: a uniform population
+        (``zipf_s = 0``) returns ``base_rate`` on every channel, while a
+        skewed one concentrates the same total on the hot channels —
+        ``sum_i rate_i == channels * base_rate`` always holds.
+        """
+        return base_rate * self.channels * self._weights[channel]

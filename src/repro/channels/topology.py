@@ -1,0 +1,98 @@
+"""Channel topology: which orgs, peers and orderers serve which channel.
+
+A sharded deployment gives every channel its *own* peer subset and its
+own ordering service — unlike the co-hosted ``num_channels`` model where
+all peers join all channels. :class:`ChannelTopology` is the static map:
+it derives the channel names, the per-channel org/peer rosters and the
+qualified peer namespace (``peer<i>.<org>.ch<k>``) that fault schedules
+address, and routes qualified names back to their owning channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigError
+from repro.fabric.config import FabricConfig
+
+
+@dataclass(frozen=True)
+class ChannelTopology:
+    """Static org/peer-to-channel mapping of one sharded deployment.
+
+    Plain picklable data: every runtime hosts the same org layout
+    (``num_orgs`` orgs of ``peers_per_org`` peers — the paper's cluster
+    shape, replicated per shard), so the topology is fully described by
+    the channel names plus the base peer roster.
+    """
+
+    #: Channel names in channel-index order (``ch0``, ``ch1``, ...).
+    channel_names: Tuple[str, ...]
+    #: Organization names, identical in every channel runtime.
+    orgs: Tuple[str, ...]
+    #: Unqualified peer names one runtime instantiates.
+    base_peer_names: Tuple[str, ...]
+    #: Ordering nodes per channel (1 = single orderer, >= 2 = cluster).
+    orderer_nodes: int = 1
+
+    @classmethod
+    def for_config(cls, config: FabricConfig) -> "ChannelTopology":
+        """Derive the topology a sharded ``config`` will build."""
+        orgs = config.org_names()
+        return cls(
+            channel_names=tuple(f"ch{i}" for i in range(config.channels)),
+            orgs=orgs,
+            base_peer_names=tuple(
+                f"peer{index}.{org}"
+                for org in orgs
+                for index in range(config.peers_per_org)
+            ),
+            orderer_nodes=config.orderer_nodes,
+        )
+
+    @property
+    def channels(self) -> int:
+        """Number of channels."""
+        return len(self.channel_names)
+
+    def qualified_peer_names(self, channel_index: int) -> Tuple[str, ...]:
+        """The fleet-unique peer names of one channel runtime."""
+        suffix = self.channel_names[channel_index]
+        return tuple(f"{name}.{suffix}" for name in self.base_peer_names)
+
+    def route_peer(self, qualified: str) -> Tuple[int, str]:
+        """Resolve a qualified peer name to ``(channel_index, base_name)``.
+
+        Raises :class:`ConfigError` naming the peer when the name does
+        not belong to any channel of this topology.
+        """
+        base, dot, suffix = qualified.rpartition(".")
+        if dot and base in self.base_peer_names:
+            try:
+                index = self.channel_names.index(suffix)
+            except ValueError:
+                index = -1
+            if index >= 0:
+                return index, base
+        known = [
+            name
+            for channel in range(self.channels)
+            for name in self.qualified_peer_names(channel)
+        ]
+        raise ConfigError(
+            f"peer {qualified!r} belongs to no channel of this topology "
+            f"(known peers: {known})"
+        )
+
+    def describe(self) -> List[Dict[str, object]]:
+        """One row per channel (reports and the channels doc examples)."""
+        return [
+            {
+                "channel": name,
+                "orgs": list(self.orgs),
+                "peers": list(self.qualified_peer_names(index)),
+                "orderer_nodes": self.orderer_nodes,
+            }
+            for index, name in enumerate(self.channel_names)
+        ]

@@ -223,7 +223,14 @@ def chaos_config(
 
 
 def _quiescent(network: FabricNetwork) -> bool:
-    """True when nothing is pending and all live peers share the tip."""
+    """True when nothing is pending and all live peers share the tip.
+
+    Accepts a sharded fleet (``repro.channels.ShardedNetwork``) too: the
+    fleet is quiescent when every channel runtime is.
+    """
+    runtimes = getattr(network, "runtimes", None)
+    if runtimes is not None:
+        return all(_quiescent(runtime) for runtime in runtimes)
     if network._pending:
         return False
     for orderer in network.orderers.values():
@@ -264,7 +271,24 @@ def check_invariants(
 
     Returns ``(invariants, details)`` where ``details`` carries one
     human-readable line per violation.
+
+    A sharded fleet is checked channel runtime by channel runtime — each
+    channel is an independent chain, so every invariant must hold within
+    every channel (cross-channel sagas change nothing here: each leg is
+    an ordinary transaction of its own channel). The per-runtime verdicts
+    are AND-ed; detail lines already carry the global channel name.
     """
+    runtimes = getattr(network, "runtimes", None)
+    if runtimes is not None:
+        invariants = {name: True for name in INVARIANT_NAMES}
+        details: List[str] = []
+        for runtime in runtimes:
+            runtime_invariants, runtime_details = check_invariants(runtime)
+            for name, held in runtime_invariants.items():
+                invariants[name] = invariants[name] and held
+            details.extend(runtime_details)
+        return invariants, details
+
     invariants = {name: True for name in INVARIANT_NAMES}
     details: List[str] = []
 

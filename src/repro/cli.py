@@ -64,6 +64,9 @@ SWEEPABLE = {
     "block-size": ("block_size", int),
     "clients": ("clients", int),
     "channels": ("channels", int),
+    "cross-channel-fraction": ("cross_channel_fraction", float),
+    "population-accounts": ("population_accounts", int),
+    "population-zipf-s": ("population_zipf_s", float),
     "client-rate": ("client_rate", float),
     "seed": ("seed", int),
     "duration": ("duration", float),
@@ -76,6 +79,8 @@ SWEEPABLE = {
     "hw": ("hw", float),
     "hss": ("hss", float),
     "records": ("records", int),
+    "hotspot-interval": ("hotspot_interval", int),
+    "hot-set-drift": ("hot_set_drift", float),
     "drop-rate": ("drop_rate", float),
     "jitter": ("jitter", float),
     "validation-workers": ("validation_workers", int),
@@ -268,6 +273,12 @@ def _add_workload_arguments(sub: argparse.ArgumentParser) -> None:
                      help="ycsb: standard core workload mix")
     sub.add_argument("--records", type=int, default=10_000,
                      help="ycsb: number of records")
+    sub.add_argument("--hotspot-interval", type=int, default=0,
+                     help="ycsb: operations between hot-set rotations per "
+                          "request stream (0 = static hot set)")
+    sub.add_argument("--hot-set-drift", type=float, default=0.0,
+                     help="ycsb: keyspace fraction the hot set shifts at "
+                          "each rotation")
 
 
 def _add_system_arguments(sub: argparse.ArgumentParser, with_system: bool) -> None:
@@ -278,7 +289,25 @@ def _add_system_arguments(sub: argparse.ArgumentParser, with_system: bool) -> No
     sub.add_argument("--block-size", type=int, default=1024)
     sub.add_argument("--clients", type=int, default=4,
                      help="clients per channel")
-    sub.add_argument("--channels", type=int, default=1)
+    sub.add_argument("--channels", type=int, default=1,
+                     help="sharded channels: N>=2 builds N independent "
+                          "channel runtimes (own orderer, peers, ledger) in "
+                          "one simulation (default 1 = classic single "
+                          "runtime)")
+    sub.add_argument("--cross-channel-fraction", type=float, default=0.0,
+                     metavar="F",
+                     help="fraction of intents fired as two-channel sagas "
+                          "with no atomicity guarantee; requires "
+                          "--channels >= 2 (default 0)")
+    sub.add_argument("--population-accounts", type=int, default=0,
+                     metavar="N",
+                     help="logical account population with Zipf channel "
+                          "affinity steering per-channel client load; "
+                          "requires --channels >= 2 (default 0 = off)")
+    sub.add_argument("--population-zipf-s", type=float, default=1.0,
+                     metavar="S",
+                     help="Zipf skew of the population's channel affinity "
+                          "(0 = uniform; default 1.0)")
     sub.add_argument("--client-rate", type=float, default=512.0,
                      help="proposals per second per client")
     sub.add_argument("--policy", default=None, metavar="SPEC",
@@ -494,6 +523,8 @@ def workload_ref_from_args(args: argparse.Namespace) -> WorkloadRef:
                 "preset": args.ycsb_preset,
                 "num_records": args.records,
                 "s_value": args.s_value or 0.99,
+                "hotspot_interval": args.hotspot_interval,
+                "hot_set_drift": args.hot_set_drift,
             },
             seed=args.seed,
         )
@@ -527,13 +558,25 @@ def backpressure_from_args(args: argparse.Namespace):
     )
 
 
+def population_from_args(args: argparse.Namespace):
+    """Build the population configuration the arguments describe."""
+    from repro.fabric.config import PopulationConfig
+
+    return PopulationConfig(
+        accounts=getattr(args, "population_accounts", 0),
+        zipf_s=getattr(args, "population_zipf_s", 1.0),
+    )
+
+
 def config_from_args(args: argparse.Namespace) -> FabricConfig:
     """Build the network configuration the arguments describe."""
     config = replace(
         FabricConfig(),
         batch=BatchCutConfig(max_transactions=args.block_size),
         clients_per_channel=args.clients,
-        num_channels=args.channels,
+        channels=args.channels,
+        cross_channel_fraction=getattr(args, "cross_channel_fraction", 0.0),
+        population=population_from_args(args),
         client_rate=args.client_rate,
         seed=args.seed,
         endorsement_policy=getattr(args, "policy", None),
@@ -554,6 +597,16 @@ def config_from_args(args: argparse.Namespace) -> FabricConfig:
         )
     if getattr(args, "system", "fabric") == "fabric++":
         config = config.with_fabric_plus_plus()
+    faults_file = getattr(args, "faults_file", None)
+    if faults_file:
+        # Fail fast at argument-parsing time: a schedule loaded from a
+        # file is validated against the full topology here, so a typo'd
+        # peer name surfaces with the file path before any network (or
+        # sweep worker) is constructed.
+        try:
+            config.validate()
+        except ConfigError as error:
+            raise ConfigError(f"--faults-file {faults_file!r}: {error}") from error
     return config
 
 
@@ -573,6 +626,16 @@ def command_run(args: argparse.Namespace) -> int:
     )
     result, network = run_experiment_with_network(spec, tracer=tracer)
     print(format_table([result.row()], title=f"{result.label} / {args.workload}"))
+    fleet = result.metrics.channels
+    if fleet is not None:
+        print()
+        print(format_table(fleet.per_channel, title="per-channel breakdown"))
+        saga = fleet.saga
+        if saga.started:
+            print(
+                f"\nsagas: {saga.started} started, {saga.committed} committed, "
+                f"{saga.half_committed} half-committed, {saga.aborted} aborted"
+            )
     if result.metrics.fault_events:
         print("\nfault events:")
         for time, kind, subject in result.metrics.fault_events:
@@ -587,14 +650,19 @@ def command_run(args: argparse.Namespace) -> int:
     if args.export_ledger:
         from repro.ledger.export import save_ledger
 
-        for channel in network.channels:
-            path = (
-                args.export_ledger
-                if len(network.channels) == 1
-                else f"{args.export_ledger}.{channel}"
-            )
-            save_ledger(path, network.reference_peer.channels[channel].ledger)
-            print(f"\nexported {channel} ledger to {path}")
+        runtimes = getattr(network, "runtimes", None) or [network]
+        total = sum(len(runtime.channels) for runtime in runtimes)
+        for runtime in runtimes:
+            for channel in runtime.channels:
+                path = (
+                    args.export_ledger
+                    if total == 1
+                    else f"{args.export_ledger}.{channel}"
+                )
+                save_ledger(
+                    path, runtime.reference_peer.channels[channel].ledger
+                )
+                print(f"\nexported {channel} ledger to {path}")
     _maybe_save(args, [result])
     return 0
 

@@ -104,6 +104,10 @@ class Client:
         self._stopped = False
         #: resubmit_storm: lifetime refires, bounded by the spec's cap.
         self._storm_fired = 0
+        #: Cross-channel sagas (``repro.channels``): set by the sharded
+        #: fleet on clients of saga-enabled runs; None (the default)
+        #: leaves every firing and resolution path untouched.
+        self.saga_router = None
 
     # -- firing loop ---------------------------------------------------------------
 
@@ -155,6 +159,20 @@ class Client:
 
     def _fire_one(self, retries: int = 0) -> None:
         invocation = self.workload.next_invocation(self.rng)
+        if self.saga_router is not None and retries == 0:
+            # The router may turn this intent into a cross-channel saga
+            # (its own seeded decision stream; the workload draw above is
+            # reused as the home leg, so the local stream is unperturbed).
+            if self.saga_router.take(self, invocation):
+                return
+        self.fire_invocation(invocation, retries)
+
+    def fire_invocation(self, invocation, retries: int = 0) -> str:
+        """Fire one concrete invocation; returns the proposal id.
+
+        Split out of :meth:`_fire_one` so the saga router can inject
+        remote legs through a channel's gateway client.
+        """
         self._sequence += 1
         proposal = Proposal(
             proposal_id=f"{self.identity.name}-{self._sequence}",
@@ -170,6 +188,7 @@ class Client:
         self.env.process(
             self._submit(proposal, retries), name=f"{self.identity.name}/submit"
         )
+        return proposal.proposal_id
 
     # -- one proposal's lifecycle ----------------------------------------------------
 
@@ -543,6 +562,8 @@ class Client:
         self._in_flight -= 1
         if self._slot_waiter is not None and not self._slot_waiter.triggered:
             self._slot_waiter.succeed()
+        if self.saga_router is not None:
+            self.saga_router.on_outcome(tx_id, terminal, self.env.now)
         if storms and failed_live:
             # resubmit_storm: a buggy retry loop refires every failure
             # ``storm_factor`` times, amplifying load exactly when the

@@ -22,7 +22,7 @@ block size 1024 under a conflict-free workload, matching Figures 7/8.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.core.batch_cutter import BatchCutConfig
 from repro.errors import ConfigError
@@ -209,6 +209,52 @@ class BackpressureConfig:
             raise ConfigError("retry_backoff_jitter must be >= 0")
 
 
+#: Seed salt deriving each sharded channel runtime's config seed from the
+#: fleet seed, keeping per-channel streams decorrelated from each other
+#: and from every single-channel stream.
+CHANNEL_SEED_SALT = 0xC11A
+
+#: Seed salt for the cross-channel saga streams (the per-client saga
+#: decision draw, partner-channel pick, and remote-leg invocation draws).
+SAGA_SEED_SALT = 0x5A6A
+
+
+@dataclass(frozen=True)
+class PopulationConfig:
+    """A logical client population spread across sharded channels.
+
+    The default (``accounts == 0``) disables the population model
+    entirely and is bit-identical to a build without it. A positive
+    ``accounts`` describes that many logical accounts — the intent is
+    *millions* — which are never materialised: channel affinity and
+    account ids are computed lazily from seeded streams
+    (:class:`repro.channels.population.ClientPopulation`), so the model
+    is O(channels) in memory regardless of population size.
+
+    ``zipf_s`` skews the channel affinity: account mass (and therefore
+    per-channel client load) follows a Zipf(s) distribution over the
+    channels, with the rank-to-channel mapping drawn from a seeded
+    permutation. ``s = 0`` spreads accounts uniformly.
+    """
+
+    #: Logical accounts in the population (0 = model off).
+    accounts: int = 0
+    #: Zipf skew of the per-channel account mass (0 = uniform).
+    zipf_s: float = 1.0
+
+    @property
+    def is_off(self) -> bool:
+        """True when no population is configured (bit-identical default)."""
+        return self.accounts == 0
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` for inconsistent population knobs."""
+        if self.accounts < 0:
+            raise ConfigError("population accounts must be >= 0 (0 = off)")
+        if self.zipf_s < 0:
+            raise ConfigError("population zipf_s must be >= 0")
+
+
 @dataclass(frozen=True)
 class FabricConfig:
     """Full configuration of one network run."""
@@ -229,6 +275,26 @@ class FabricConfig:
 
     #: Number of channels; each has its own chain but shares the peers.
     num_channels: int = 1
+    #: Sharded channels (``repro.channels``): ``channels >= 2`` builds N
+    #: *independent* channel runtimes in one simulation — each with its
+    #: own peer subset, orderer (or orderer cluster), ledger, and CC
+    #: strategy — instead of the co-hosted ``num_channels`` model where
+    #: every peer joins every channel. The default of 1 keeps the legacy
+    #: single-runtime build and is bit-identical to the pre-channel code.
+    channels: int = 1
+    #: Fraction of fired business intents that become cross-channel
+    #: *sagas*: a home-channel leg plus one leg on another channel,
+    #: submitted independently with **no atomicity guarantee** across the
+    #: two chains (Fabric has none). A saga whose legs split one-commit/
+    #: one-abort terminates in the ``saga_half_committed`` fleet outcome.
+    #: Requires ``channels >= 2``.
+    cross_channel_fraction: float = 0.0
+    #: Per-channel CC strategy override: empty (all channels use
+    #: ``cc_strategy``) or exactly ``channels`` registry names.
+    channel_cc_strategies: Tuple[str, ...] = ()
+    #: Client-population model (Zipf channel affinity over lazily
+    #: materialised accounts). Off by default; requires ``channels >= 2``.
+    population: PopulationConfig = field(default_factory=PopulationConfig)
     #: Clients per channel, each firing proposals independently.
     clients_per_channel: int = 4
     #: Proposals per second fired by each client.
@@ -316,6 +382,37 @@ class FabricConfig:
         return self.orderer_nodes > 1
 
     @property
+    def uses_sharding(self) -> bool:
+        """True when the run builds independent sharded channel runtimes."""
+        return self.channels > 1
+
+    def org_names(self) -> Tuple[str, ...]:
+        """The organization names this topology creates."""
+        return tuple(
+            f"Org{chr(ord('A') + index)}" for index in range(self.num_orgs)
+        )
+
+    def peer_names(self) -> Tuple[str, ...]:
+        """Every peer name this configuration will instantiate.
+
+        Single-runtime configs name peers ``peer<i>.<org>``; sharded
+        configs qualify each runtime's peers with its channel,
+        ``peer<i>.<org>.ch<k>`` — the namespace fault schedules must use.
+        """
+        base = tuple(
+            f"peer{index}.{org}"
+            for org in self.org_names()
+            for index in range(self.peers_per_org)
+        )
+        if not self.uses_sharding:
+            return base
+        return tuple(
+            f"{name}.ch{channel}"
+            for channel in range(self.channels)
+            for name in base
+        )
+
+    @property
     def uses_validation_pipeline(self) -> bool:
         """True when any validation knob leaves its legacy default.
 
@@ -361,6 +458,49 @@ class FabricConfig:
             raise ConfigError("cores_per_peer must be >= 1")
         if self.num_channels < 1:
             raise ConfigError("num_channels must be >= 1")
+        if self.channels < 1:
+            raise ConfigError("channels must be >= 1")
+        if self.uses_sharding and self.num_channels != 1:
+            raise ConfigError(
+                "sharded runs (channels >= 2) are incompatible with the "
+                "co-hosted num_channels model; set num_channels to 1"
+            )
+        if not 0.0 <= self.cross_channel_fraction < 1.0:
+            raise ConfigError(
+                "cross_channel_fraction must be in [0, 1), "
+                f"got {self.cross_channel_fraction}"
+            )
+        if self.cross_channel_fraction > 0 and not self.uses_sharding:
+            raise ConfigError(
+                "cross_channel_fraction > 0 requires channels >= 2 "
+                "(a saga needs a second channel for its remote leg)"
+            )
+        if self.cross_channel_fraction > 0 and self.resubmit_failed:
+            raise ConfigError(
+                "cross_channel_fraction > 0 is incompatible with "
+                "resubmit_failed: saga legs are terminal by design"
+            )
+        self.population.validate()
+        if not self.population.is_off and not self.uses_sharding:
+            raise ConfigError(
+                "a client population requires channels >= 2 "
+                "(its only effect is channel affinity)"
+            )
+        if self.channel_cc_strategies:
+            if len(self.channel_cc_strategies) != self.channels:
+                raise ConfigError(
+                    "channel_cc_strategies must name exactly one strategy "
+                    f"per channel ({self.channels}), "
+                    f"got {len(self.channel_cc_strategies)}"
+                )
+            from repro.validation.registry import strategy_names as _names
+
+            for strategy in self.channel_cc_strategies:
+                if strategy not in _names():
+                    raise ConfigError(
+                        f"channel_cc_strategies names unknown strategy "
+                        f"{strategy!r}; expected one of {', '.join(_names())}"
+                    )
         if self.clients_per_channel < 1:
             raise ConfigError("clients_per_channel must be >= 1")
         if self.client_rate <= 0:
@@ -404,15 +544,43 @@ class FabricConfig:
         self.traffic.validate()
         self.backpressure.validate()
         self.faults.validate()
+        # Fail fast on schedules naming peers the topology never builds:
+        # at config time the full peer namespace is known, so a typo in a
+        # --faults-file surfaces before any network (or sweep worker)
+        # is constructed.
+        known_peers = set(self.peer_names())
+        for window in self.faults.crashes:
+            if window.peer not in known_peers:
+                raise ConfigError(
+                    f"crash schedule names unknown peer {window.peer!r} "
+                    f"(known peers: {sorted(known_peers)})"
+                )
         if not self.uses_replicated_ordering:
             if self.faults.orderer_crashes:
                 raise ConfigError(
                     "orderer crash windows require orderer_nodes >= 2"
                 )
-            if self.faults.partitions:
-                raise ConfigError(
-                    "partition windows require orderer_nodes >= 2"
-                )
+            for partition in self.faults.partitions:
+                if partition.groups:
+                    raise ConfigError(
+                        "partition windows with node groups require "
+                        "orderer_nodes >= 2"
+                    )
+        for partition in self.faults.partitions:
+            if partition.channels:
+                if not self.uses_sharding:
+                    raise ConfigError(
+                        f"partition window ({partition.describe()}) "
+                        "isolates channels but the run is not sharded "
+                        "(channels >= 2 required)"
+                    )
+                for channel in partition.channels:
+                    if channel >= self.channels:
+                        raise ConfigError(
+                            f"partition window ({partition.describe()}) "
+                            f"names channel {channel} but only "
+                            f"{self.channels} channels exist"
+                        )
         for window in self.faults.orderer_crashes:
             if window.node >= self.orderer_nodes:
                 raise ConfigError(

@@ -52,6 +52,12 @@ class TxOutcome(enum.Enum):
     #: later blind write win, so this outcome only exists under the
     #: lockless strategy.
     ABORT_OCC_WW = "abort_occ_ww"
+    #: Cross-channel saga (``repro.channels``) whose two legs split one
+    #: commit / one abort. Fabric offers no atomicity across channels, so
+    #: the committed leg stays committed and the intent terminates in
+    #: this half-done state — recorded at the *fleet* level on sharded
+    #: runs (each leg's own outcome is still counted by its channel).
+    SAGA_HALF_COMMITTED = "saga_half_committed"
 
     @property
     def is_success(self) -> bool:
@@ -359,6 +365,91 @@ class OverloadStats:
 
 
 @dataclass
+class SagaStats:
+    """Cross-channel saga accounting for one sharded run.
+
+    A saga is one business intent split into a home-channel leg and a
+    remote-channel leg, submitted independently — Fabric guarantees no
+    atomicity across channels, and neither does this model. Every
+    started saga terminates in exactly one of the three buckets; the
+    ``half_committed`` count equals the fleet's
+    ``saga_half_committed`` outcome count.
+    """
+
+    #: Sagas launched (home + remote leg fired).
+    started: int = 0
+    #: Both legs committed.
+    committed: int = 0
+    #: Exactly one leg committed — the honest non-atomic failure mode.
+    half_committed: int = 0
+    #: Neither leg committed.
+    aborted: int = 0
+
+    @property
+    def finished(self) -> int:
+        """Sagas whose both legs reached a terminal outcome."""
+        return self.committed + self.half_committed + self.aborted
+
+    def summary(self) -> Dict[str, object]:
+        """Flat dict of the saga counters."""
+        return {
+            "started": self.started,
+            "committed": self.committed,
+            "half_committed": self.half_committed,
+            "aborted": self.aborted,
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form for JSON round-tripping."""
+        return self.summary()
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SagaStats":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(**data)
+
+
+@dataclass
+class ChannelFleetStats:
+    """Per-channel breakdown of a sharded (``channels >= 2``) run.
+
+    Only attached by ``repro.channels``; single-runtime runs leave
+    :attr:`PipelineMetrics.channels` as ``None`` so their metric
+    snapshots stay byte-identical to pre-channel builds. Each entry of
+    :attr:`per_channel` is a flat, JSON-ready row (channel name, fired /
+    successful / failed counts, windowed TPS, blocks, CC strategy).
+    """
+
+    #: Number of sharded channel runtimes.
+    channels: int = 0
+    #: One compact summary row per channel, in channel order.
+    per_channel: List[Dict[str, object]] = field(default_factory=list)
+    #: Cross-channel saga accounting (all-zero when the run fired none).
+    saga: SagaStats = field(default_factory=SagaStats)
+
+    def summary(self) -> Dict[str, object]:
+        """Flat dict of the headline fleet numbers."""
+        return {
+            "channels": self.channels,
+            "per_channel": [dict(row) for row in self.per_channel],
+            "saga": self.saga.summary(),
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form for JSON round-tripping."""
+        return self.summary()
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ChannelFleetStats":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            channels=data["channels"],
+            per_channel=[dict(row) for row in data["per_channel"]],
+            saga=SagaStats.from_dict(data["saga"]),
+        )
+
+
+@dataclass
 class PipelineMetrics:
     """Counters and latency samples for one simulated run."""
 
@@ -406,6 +497,10 @@ class PipelineMetrics:
     #: (``FabricConfig.backpressure``); None (and absent from summaries)
     #: on unbounded runs.
     overload: Optional[OverloadStats] = None
+    #: Per-channel fleet stats. Set only by sharded runs
+    #: (``FabricConfig.channels >= 2``, ``repro.channels``); None (and
+    #: absent from summaries) on single-runtime runs.
+    channels: Optional[ChannelFleetStats] = None
 
     def record_fired(self) -> None:
         """Count one fired proposal."""
@@ -614,4 +709,6 @@ class PipelineMetrics:
             summary["consensus"] = self.consensus.summary()
         if self.overload is not None:
             summary["overload"] = self.overload.summary()
+        if self.channels is not None:
+            summary["channels"] = self.channels.summary()
         return summary

@@ -10,7 +10,7 @@ time and returns the collected :class:`PipelineMetrics`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.crypto.identity import IdentityRegistry
 from repro.errors import ConfigError
@@ -55,10 +55,15 @@ class FabricNetwork:
         workload: WorkloadSpec,
         policy: Optional[EndorsementPolicy] = None,
         tracer: Optional[Tracer] = None,
+        env: Optional[Environment] = None,
+        channel_names: Optional[Sequence[str]] = None,
     ) -> None:
+        # ``env``/``channel_names`` let repro.channels embed this network
+        # as one sharded channel runtime inside a shared simulation; both
+        # default to the legacy single-runtime behaviour.
         config.validate()
         self.config = config
-        self.env = Environment()
+        self.env = env if env is not None else Environment()
         self.registry = IdentityRegistry()
         self.metrics = PipelineMetrics()
         # The tracer is a runtime-only argument — never part of the
@@ -100,12 +105,9 @@ class FabricNetwork:
         }
         self.faults: Optional[FaultInjector] = None
         if not config.faults.is_zero:
+            # Unknown peer names were already rejected by config.validate;
+            # only the reference-peer restriction is checked here.
             for window in config.faults.crashes:
-                if window.peer not in self._peer_by_name:
-                    raise ConfigError(
-                        f"crash schedule names unknown peer {window.peer!r} "
-                        f"(peers: {sorted(self._peer_by_name)})"
-                    )
                 if window.peer == self.reference_peer.name:
                     raise ConfigError(
                         "the reference peer is the measurement anchor and "
@@ -146,7 +148,15 @@ class FabricNetwork:
         self.workloads: Dict[str, Workload] = {}
         self._pending: Dict[str, Tuple[Client, float, int]] = {}
 
-        self.channels = [f"ch{i}" for i in range(config.num_channels)]
+        if channel_names is not None:
+            if len(channel_names) != config.num_channels:
+                raise ConfigError(
+                    f"channel_names has {len(channel_names)} entries but "
+                    f"num_channels is {config.num_channels}"
+                )
+            self.channels = list(channel_names)
+        else:
+            self.channels = [f"ch{i}" for i in range(config.num_channels)]
         for channel_index, channel in enumerate(self.channels):
             self._build_channel(channel_index, channel, workload)
 
@@ -455,15 +465,10 @@ class FabricNetwork:
             clients_per_channel=self.config.clients_per_channel,
         )
 
-    def run(self, duration: float, drain: float = 3.0) -> PipelineMetrics:
-        """Fire the workload for ``duration`` simulated seconds.
-
-        Clients stop firing at ``duration``; the simulation then keeps
-        running for up to ``drain`` extra simulated seconds so in-flight
-        transactions resolve (their outcomes are still counted, as the
-        paper's averages cover whole runs). Throughput figures divide by
-        ``duration``.
-        """
+    def begin(self, duration: float) -> None:
+        """Launch fault processes and client firing without running the
+        environment — the embedding hook for sharded fleets, where many
+        runtimes share one environment that is run exactly once."""
         if duration <= 0:
             raise ConfigError("duration must be > 0")
         if self.faults is not None:
@@ -477,6 +482,17 @@ class FabricNetwork:
                 client.stop()
 
         self.env.process(stop_clients(), name="stop-clients")
+
+    def run(self, duration: float, drain: float = 3.0) -> PipelineMetrics:
+        """Fire the workload for ``duration`` simulated seconds.
+
+        Clients stop firing at ``duration``; the simulation then keeps
+        running for up to ``drain`` extra simulated seconds so in-flight
+        transactions resolve (their outcomes are still counted, as the
+        paper's averages cover whole runs). Throughput figures divide by
+        ``duration``.
+        """
+        self.begin(duration)
         if self.tracer is not None:
             from repro.crypto import signing
 

@@ -157,17 +157,28 @@ class PartitionWindow:
     assemble a quorum and stall; when the window ends the cluster heals
     and log reconciliation brings every group onto one chain without
     forking. Requires ``FabricConfig.orderer_nodes > 1``.
+
+    Alternatively ``channels`` (sharded runs only, ``FabricConfig.
+    channels >= 2``) names whole channel runtimes to isolate: each listed
+    channel's ordering service makes no progress during the window —
+    a clustered orderer is split into quorumless singletons, a single
+    orderer stalls — while every other channel keeps committing. Exactly
+    one of ``groups`` / ``channels`` must be set.
     """
 
     at: float
     duration: float
     groups: Tuple[Tuple[int, ...], ...] = ()
+    channels: Tuple[int, ...] = ()
 
     def describe(self) -> str:
         """Compact ``partition@at+duration [0,1|2]`` form for errors."""
-        layout = "|".join(
-            ",".join(str(node) for node in group) for group in self.groups
-        )
+        if self.channels:
+            layout = ",".join(f"ch{channel}" for channel in self.channels)
+        else:
+            layout = "|".join(
+                ",".join(str(node) for node in group) for group in self.groups
+            )
         return f"partition@{self.at}+{self.duration} [{layout}]"
 
     def validate(self) -> None:
@@ -180,6 +191,24 @@ class PartitionWindow:
             raise ConfigError(
                 f"partition duration must be > 0, got {self.duration}"
             )
+        if self.channels:
+            if self.groups:
+                raise ConfigError(
+                    "a partition window takes either node groups or "
+                    "channels, not both"
+                )
+            seen_channels = set()
+            for channel in self.channels:
+                if channel < 0:
+                    raise ConfigError(
+                        f"partition channel indices must be >= 0, got {channel}"
+                    )
+                if channel in seen_channels:
+                    raise ConfigError(
+                        f"channel {channel} appears twice in the partition"
+                    )
+                seen_channels.add(channel)
+            return
         if len(self.groups) < 2:
             raise ConfigError(
                 "a partition needs at least two groups of node indices"
@@ -470,6 +499,7 @@ def schedule_from_dict(data: Dict[str, object]) -> FaultSchedule:
         window["groups"] = tuple(
             tuple(group) for group in window.get("groups", ())
         )
+        window["channels"] = tuple(window.get("channels", ()))
         partitions.append(PartitionWindow(**window))
     misbehaviors = tuple(
         spec if isinstance(spec, MisbehaviorSpec) else MisbehaviorSpec(**spec)

@@ -31,7 +31,11 @@ from repro.bench.spec import ExperimentSpec
 from repro.chaos import INVARIANT_NAMES, _settle, check_invariants
 from repro.core.batch_cutter import BatchCutConfig
 from repro.errors import ConfigError
-from repro.fabric.config import BackpressureConfig, FabricConfig
+from repro.fabric.config import (
+    BackpressureConfig,
+    FabricConfig,
+    PopulationConfig,
+)
 from repro.fabric.metrics import TxOutcome
 from repro.faults import FaultSchedule, MisbehaviorSpec
 from repro.sim.distributions import mix_seed
@@ -198,6 +202,17 @@ _SCENARIOS: Tuple[Scenario, ...] = (
         workload=_smallbank(users=300, s_value=1.0),
     ),
     Scenario(
+        name="channel-shards",
+        description="4 sharded channels, Zipf client affinity, 10% sagas",
+        config=_config(
+            channels=4,
+            client_rate=100.0,
+            cross_channel_fraction=0.1,
+            population=PopulationConfig(accounts=1_000_000, zipf_s=1.0),
+        ),
+        workload=_smallbank(users=500, s_value=1.0),
+    ),
+    Scenario(
         name="stale-replay",
         description="half the clients replay stale reads after a hold",
         config=_config(
@@ -285,6 +300,9 @@ class ScenarioReport:
     endorse_rejections: int = 0
     orderer_rejections: int = 0
     queue_depth_peak: int = 0
+    #: Cross-channel saga counters (sharded scenarios only; 0 otherwise).
+    saga_started: int = 0
+    saga_half_committed: int = 0
     sim_time: float = 0.0
 
     @property
@@ -312,6 +330,8 @@ class ScenarioReport:
             "endorse_rejections": self.endorse_rejections,
             "orderer_rejections": self.orderer_rejections,
             "queue_depth_peak": self.queue_depth_peak,
+            "saga_started": self.saga_started,
+            "saga_half_committed": self.saga_half_committed,
             "sim_time": self.sim_time,
         }
 
@@ -332,7 +352,22 @@ def run_scenario(
     converged = _settle(network, max_convergence_rounds)
     invariants, details = check_invariants(network)
 
-    liveness = not network._pending and metrics.resolved == metrics.fired
+    # Liveness is judged runtime by runtime: on a sharded fleet the
+    # aggregate resolved count includes saga terminations (one intent,
+    # three terminal facts), so fleet resolved == fired would be the
+    # wrong test even on a perfectly live run.
+    runtimes = getattr(network, "runtimes", None) or [network]
+    liveness = True
+    for runtime in runtimes:
+        if runtime._pending:
+            liveness = False
+        if runtime.metrics.resolved != runtime.metrics.fired:
+            liveness = False
+            details.append(
+                f"liveness: {runtime.channels[0]} resolved "
+                f"{runtime.metrics.resolved} of {runtime.metrics.fired} "
+                "fired proposals"
+            )
     for channel, orderer in network.orderers.items():
         pending = getattr(orderer, "pending_count", 0)
         if pending:
@@ -349,6 +384,16 @@ def run_scenario(
         details.append(
             "liveness: live peers did not converge on one tip within "
             f"{max_convergence_rounds} extra rounds"
+        )
+    saga = getattr(network, "saga", None)
+    if saga is not None and (
+        saga.unresolved_legs or saga.stats.started != saga.stats.finished
+    ):
+        liveness = False
+        details.append(
+            f"liveness: {saga.unresolved_legs} saga legs unresolved "
+            f"({saga.stats.started} sagas started, "
+            f"{saga.stats.finished} finished)"
         )
 
     overload = metrics.overload
@@ -369,6 +414,10 @@ def run_scenario(
         endorse_rejections=overload.endorse_rejections if overload else 0,
         orderer_rejections=overload.orderer_rejections if overload else 0,
         queue_depth_peak=overload.queue_depth_peak if overload else 0,
+        saga_started=saga.stats.started if saga is not None else 0,
+        saga_half_committed=(
+            saga.stats.half_committed if saga is not None else 0
+        ),
         sim_time=network.env.now,
     )
 

@@ -57,6 +57,11 @@ class YcsbParams:
     s_value: float = 0.99
     #: Maximum records returned by one scan (workload E).
     max_scan_length: int = 20
+    #: Operations between hot-set rotations per request stream
+    #: (0 = static hot set; the classic YCSB behaviour).
+    hotspot_interval: int = 0
+    #: Fraction of the keyspace the hot set shifts at each rotation.
+    hot_set_drift: float = 0.0
 
     def validate(self) -> None:
         """Raise :class:`ConfigError` for inconsistent parameters."""
@@ -64,6 +69,10 @@ class YcsbParams:
             raise ConfigError("num_records must be >= 1")
         if self.max_scan_length < 1:
             raise ConfigError("max_scan_length must be >= 1")
+        if self.hotspot_interval < 0:
+            raise ConfigError("hotspot_interval must be >= 0")
+        if not 0.0 <= self.hot_set_drift <= 1.0:
+            raise ConfigError("hot_set_drift must be in [0, 1]")
         known = {"read", "update", "insert", "scan", "rmw"}
         unknown = set(self.mix) - known
         if unknown:
@@ -129,6 +138,9 @@ class YcsbWorkload(Workload):
         self.params.validate()
         self._seed = seed
         self._samplers: Dict[int, ZipfSampler] = {}
+        #: Per-stream ``[operations, shift]`` hot-set drift state, keyed
+        #: like ``_samplers``; only populated when drift is active.
+        self._hotspots: Dict[int, list] = {}
         #: Monotonic id source for inserted records (continues after the
         #: initial load, as in YCSB's ordered insert key chooser).
         self._next_insert_id = self.params.num_records
@@ -155,7 +167,18 @@ class YcsbWorkload(Workload):
         if sampler is None:
             sampler = ZipfSampler(self.params.num_records, self.params.s_value, rng)
             self._samplers[id(rng)] = sampler
-        return sampler.sample()
+        record = sampler.sample()
+        interval = self.params.hotspot_interval
+        if interval and self.params.hot_set_drift:
+            state = self._hotspots.get(id(rng))
+            if state is None:
+                state = self._hotspots[id(rng)] = [0, 0]
+            if state[0] and state[0] % interval == 0:
+                step = int(self.params.hot_set_drift * self.params.num_records)
+                state[1] = (state[1] + step) % self.params.num_records
+            state[0] += 1
+            record = (record + state[1]) % self.params.num_records
+        return record
 
     def _pick_operation(self, rng: Rng) -> str:
         draw = rng.random()

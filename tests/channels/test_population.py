@@ -1,0 +1,101 @@
+"""Unit tests for the lazily-materialised client population."""
+
+import pickle
+
+import pytest
+
+from repro.channels.population import ClientPopulation, _apportion, _zipf_weights
+from repro.errors import ConfigError
+from repro.fabric.config import PopulationConfig
+from repro.sim.distributions import Rng
+
+
+def population(accounts=1_000_000, channels=4, zipf_s=1.0, seed=42):
+    return ClientPopulation(
+        PopulationConfig(accounts=accounts, zipf_s=zipf_s), channels, seed
+    )
+
+
+def test_weights_sum_to_one():
+    for channels in (2, 3, 8):
+        weights = _zipf_weights(channels, 1.2, seed=1)
+        assert len(weights) == channels
+        assert abs(sum(weights) - 1.0) < 1e-9
+
+
+def test_zero_skew_is_uniform():
+    weights = _zipf_weights(5, 0.0, seed=9)
+    assert all(abs(weight - 0.2) < 1e-9 for weight in weights)
+
+
+def test_hot_channel_depends_on_seed():
+    hot = {
+        max(range(4), key=_zipf_weights(4, 1.5, seed).__getitem__)
+        for seed in range(20)
+    }
+    assert len(hot) > 1  # the seeded permutation moves the hot channel
+
+
+def test_apportionment_is_exact():
+    for accounts in (10, 999, 1_000_000):
+        weights = _zipf_weights(3, 1.0, seed=3)
+        counts = _apportion(accounts, weights)
+        assert sum(counts) == accounts
+        assert all(count >= 0 for count in counts)
+
+
+def test_million_accounts_stay_lazy():
+    pop = population(accounts=1_000_000, channels=4)
+    assert pop.accounts == 1_000_000
+    assert sum(pop.channel_accounts(c) for c in range(4)) == 1_000_000
+    # Nothing of size O(accounts) exists: the state is a handful of ints.
+    assert len(pop._starts) == 5
+
+
+def test_account_home_matches_ranges():
+    pop = population(accounts=10_000, channels=3)
+    for channel in range(3):
+        start, end = pop.channel_range(channel)
+        assert pop.account_home(start) == channel
+        assert pop.account_home(end - 1) == channel
+    with pytest.raises(ConfigError):
+        pop.account_home(10_000)
+    with pytest.raises(ConfigError):
+        pop.account_home(-1)
+
+
+def test_sample_account_lands_in_channel():
+    pop = population(accounts=5_000, channels=4, seed=7)
+    rng = Rng(1)
+    for channel in range(4):
+        for _ in range(50):
+            assert pop.account_home(pop.sample_account(channel, rng)) == channel
+
+
+def test_client_rate_preserves_fleet_load():
+    pop = population(channels=4, zipf_s=1.3, seed=5)
+    rates = [pop.client_rate_for(channel, 100.0) for channel in range(4)]
+    assert abs(sum(rates) - 4 * 100.0) < 1e-6
+    assert max(rates) > min(rates)  # the skew concentrates load
+
+
+def test_uniform_population_keeps_base_rate():
+    pop = population(channels=3, zipf_s=0.0)
+    for channel in range(3):
+        assert abs(pop.client_rate_for(channel, 250.0) - 250.0) < 1e-9
+
+
+def test_population_is_deterministic_and_picklable():
+    a = population(seed=11)
+    b = population(seed=11)
+    assert a == b
+    clone = pickle.loads(pickle.dumps(a))
+    assert clone == a
+    assert clone.channel_range(2) == a.channel_range(2)
+
+
+def test_population_rejects_bad_shapes():
+    with pytest.raises(ConfigError):
+        ClientPopulation(PopulationConfig(accounts=100), 1, 0)
+    with pytest.raises(ConfigError):
+        ClientPopulation(PopulationConfig(), 4, 0)  # model off

@@ -1,0 +1,72 @@
+"""Unit tests for the static channel topology."""
+
+import pickle
+
+import pytest
+
+from repro.channels.topology import ChannelTopology
+from repro.errors import ConfigError
+from repro.fabric.config import FabricConfig
+
+
+def topology(channels=3, **overrides):
+    from dataclasses import replace
+
+    return ChannelTopology.for_config(
+        replace(FabricConfig(), channels=channels, **overrides)
+    )
+
+
+def test_for_config_shapes():
+    topo = topology(channels=3)
+    assert topo.channel_names == ("ch0", "ch1", "ch2")
+    assert topo.channels == 3
+    assert topo.orgs == ("OrgA", "OrgB")
+    assert topo.base_peer_names == (
+        "peer0.OrgA", "peer1.OrgA", "peer0.OrgB", "peer1.OrgB",
+    )
+    assert topo.orderer_nodes == 1
+
+
+def test_qualified_names_are_fleet_unique():
+    topo = topology(channels=2)
+    first = topo.qualified_peer_names(0)
+    second = topo.qualified_peer_names(1)
+    assert first == tuple(f"{name}.ch0" for name in topo.base_peer_names)
+    assert second == tuple(f"{name}.ch1" for name in topo.base_peer_names)
+    assert not set(first) & set(second)
+
+
+def test_route_peer_round_trip():
+    topo = topology(channels=4)
+    for channel in range(4):
+        for qualified in topo.qualified_peer_names(channel):
+            index, base = topo.route_peer(qualified)
+            assert index == channel
+            assert base in topo.base_peer_names
+
+
+@pytest.mark.parametrize(
+    "bogus",
+    ["peer9.OrgZ.ch0", "peer0.OrgA.ch7", "peer0.OrgA", "nonsense", ""],
+)
+def test_route_peer_rejects_unknown_names(bogus):
+    topo = topology(channels=2)
+    with pytest.raises(ConfigError) as excinfo:
+        topo.route_peer(bogus)
+    message = str(excinfo.value)
+    assert repr(bogus) in message
+    assert "peer0.OrgA.ch0" in message  # names the known namespace
+
+
+def test_describe_one_row_per_channel():
+    topo = topology(channels=2, orderer_nodes=3)
+    rows = topo.describe()
+    assert [row["channel"] for row in rows] == ["ch0", "ch1"]
+    assert all(row["orderer_nodes"] == 3 for row in rows)
+    assert rows[1]["peers"] == list(topo.qualified_peer_names(1))
+
+
+def test_topology_pickles():
+    topo = topology(channels=3)
+    assert pickle.loads(pickle.dumps(topo)) == topo

@@ -1,0 +1,80 @@
+"""Determinism guarantees of the sharded-channel layer.
+
+Two contracts, mirroring the fault-layer golden tests:
+
+1. **``channels=1`` is bit-identical.** The sharded subsystem dispatches
+   single-channel configs to the untouched legacy runtime, so the golden
+   metric hashes captured before ``repro.channels`` existed still hold —
+   for vanilla Fabric and Fabric++ alike.
+2. **Sharded sweeps are worker-count independent.** A channel-count
+   sweep produces identical fleet metrics (per-channel rows and saga
+   stats included) whether it runs in-process or across ``--jobs N``
+   worker processes.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.bench.harness import run_experiment
+from repro.bench.results import metrics_to_dict
+from repro.bench.spec import ExperimentSpec
+from repro.bench.sweep import run_sweep
+
+from tests.integration.test_fault_determinism import (
+    GOLDEN_HASHES,
+    golden_spec,
+    metrics_hash,
+)
+
+
+@pytest.mark.parametrize("system", ["vanilla", "fabric++"])
+def test_single_channel_config_is_bit_identical_to_golden(system):
+    spec = golden_spec(system)
+    config = replace(
+        spec.config,
+        channels=1,
+        cross_channel_fraction=0.0,
+        channel_cc_strategies=(),
+    )
+    assert not config.uses_sharding
+    result = run_experiment(replace(spec, config=config))
+    assert metrics_hash(result.metrics) == GOLDEN_HASHES[system]
+    # The legacy runtime carries no fleet block at all.
+    assert result.metrics.channels is None
+
+
+def channel_sweep_specs():
+    base = golden_spec("vanilla")
+    specs = []
+    for channels in (1, 2, 3):
+        config = replace(
+            base.config,
+            channels=channels,
+            cross_channel_fraction=0.25 if channels >= 2 else 0.0,
+        )
+        specs.append(
+            ExperimentSpec(
+                config=config,
+                workload=base.workload,
+                duration=1.5,
+                drain=2.0,
+                label=f"channels={channels}",
+                params={"channels": channels},
+            )
+        )
+    return specs
+
+
+def test_channel_sweep_parallel_matches_serial():
+    """--jobs N must not change sharded results (pickled round trip)."""
+    serial = run_sweep(channel_sweep_specs(), jobs=1, cache=None)
+    parallel = run_sweep(channel_sweep_specs(), jobs=2, cache=None)
+    assert list(serial) == list(parallel)
+    for left, right in zip(serial.values(), parallel.values()):
+        assert metrics_to_dict(left.metrics) == metrics_to_dict(right.metrics)
+        if left.params["channels"] >= 2:
+            fleet = left.metrics.channels
+            assert fleet is not None
+            assert len(fleet.per_channel) == left.params["channels"]
+            assert fleet.saga.started > 0

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import build_parser, config_from_args, main, workload_from_args
+from repro.errors import ConfigError
 from repro.workloads.blank import BlankWorkload
 from repro.workloads.custom import CustomWorkload
 from repro.workloads.smallbank import SmallbankWorkload
@@ -73,7 +74,8 @@ def test_network_knobs_forwarded():
     )
     assert config.batch.max_transactions == 256
     assert config.clients_per_channel == 2
-    assert config.num_channels == 3
+    assert config.channels == 3
+    assert config.num_channels == 1
     assert config.client_rate == 100
 
 
@@ -482,6 +484,55 @@ def test_unknown_faults_file_key_is_named_in_the_error(tmp_path, capsys):
     assert exit_code == 2
     assert "drop_probabilty" in err
     assert str(path) in err
+
+
+def test_faults_file_unknown_peer_fails_fast_with_name_and_path(tmp_path):
+    """A typo'd peer in a --faults-file must surface at parse time,
+    naming both the offending peer and the file it came from."""
+    from repro.faults import CrashWindow, FaultSchedule
+
+    schedule = FaultSchedule(
+        crashes=(CrashWindow("peer9.OrgZ", 0.5, 0.7),),
+        endorsement_timeout=0.1,
+    )
+    path = _schedule_file(tmp_path, schedule)
+    with pytest.raises(ConfigError) as excinfo:
+        config_from_args(parse(["run", "--faults-file", path]))
+    message = str(excinfo.value)
+    assert "peer9.OrgZ" in message
+    assert path in message
+    assert "known peers" in message
+
+
+def test_faults_file_unknown_peer_exits_cleanly(tmp_path, capsys):
+    from repro.faults import CrashWindow, FaultSchedule
+
+    schedule = FaultSchedule(
+        crashes=(CrashWindow("peer0.OrgA.ch9", 0.5, 0.7),),
+        endorsement_timeout=0.1,
+    )
+    path = _schedule_file(tmp_path, schedule)
+    exit_code = main(
+        ["run", "--faults-file", path, "--channels", "2", "--duration", "1"]
+    )
+    assert exit_code == 2
+    err = capsys.readouterr().err
+    assert "peer0.OrgA.ch9" in err
+    assert path in err
+
+
+def test_faults_file_qualified_peer_accepted_in_sharded_config(tmp_path):
+    from repro.faults import CrashWindow, FaultSchedule
+
+    schedule = FaultSchedule(
+        crashes=(CrashWindow("peer0.OrgA.ch1", 0.5, 0.7),),
+        endorsement_timeout=0.1,
+    )
+    path = _schedule_file(tmp_path, schedule)
+    config = config_from_args(
+        parse(["run", "--faults-file", path, "--channels", "2"])
+    )
+    assert config.faults == schedule
 
 
 def test_faults_file_round_trips_misbehaviors(tmp_path):

@@ -4,6 +4,8 @@ from collections import Counter
 from dataclasses import replace
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.batch_cutter import BatchCutConfig
 from repro.errors import ChaincodeError, ConfigError
@@ -150,6 +152,60 @@ def test_zipf_skew_applies_to_requests():
         workload.next_invocation(rng).args[0] for _ in range(3000)
     )
     assert keys.most_common(1)[0][1] > 100  # heavily skewed
+
+
+def test_hotspot_params_validation():
+    with pytest.raises(ConfigError):
+        YcsbParams(hotspot_interval=-1).validate()
+    with pytest.raises(ConfigError):
+        YcsbParams(hot_set_drift=1.5).validate()
+    with pytest.raises(ConfigError):
+        YcsbParams(hot_set_drift=-0.1).validate()
+    YcsbParams(hotspot_interval=100, hot_set_drift=0.25).validate()
+
+
+def test_hotspot_defaults_leave_the_stream_unchanged():
+    params = YcsbParams(mix={"read": 1.0}, num_records=200, s_value=1.0)
+    drifting = replace(params, hotspot_interval=0, hot_set_drift=0.5)
+    a = YcsbWorkload(params, seed=0)
+    b = YcsbWorkload(drifting, seed=0)
+    rng_a, rng_b = Rng(9), Rng(9)
+    for _ in range(300):
+        assert a.next_invocation(rng_a) == b.next_invocation(rng_b)
+
+
+def test_hot_set_drift_moves_the_mode():
+    params = YcsbParams(
+        mix={"read": 1.0}, num_records=1000, s_value=1.4,
+        hotspot_interval=500, hot_set_drift=0.5,
+    )
+    workload = YcsbWorkload(params, seed=0)
+    rng = Rng(6)
+    first = Counter(workload.next_invocation(rng).args[0] for _ in range(500))
+    second = Counter(workload.next_invocation(rng).args[0] for _ in range(500))
+    # Zipf rank 0 dominates each window; after the rotation it sits half
+    # a keyspace away from where it started.
+    peak_before = int(first.most_common(1)[0][0][len("user"):])
+    peak_after = int(second.most_common(1)[0][0][len("user"):])
+    assert (peak_before + 500) % 1000 == peak_after
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    interval=st.integers(min_value=0, max_value=50),
+    drift=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+@settings(max_examples=25, deadline=None)
+def test_hotspot_streams_are_deterministic(seed, interval, drift):
+    params = YcsbParams.preset(
+        "a", num_records=100, hotspot_interval=interval, hot_set_drift=drift
+    )
+    streams = []
+    for _ in range(2):
+        workload = YcsbWorkload(params, seed=seed)
+        rng = Rng(seed)
+        streams.append([workload.next_invocation(rng) for _ in range(120)])
+    assert streams[0] == streams[1]
 
 
 def test_ycsb_runs_through_the_pipeline():
