@@ -50,7 +50,10 @@ from repro.bench.spec import ExperimentSpec
 #: 5: configs gained the cc_strategy knob (in the key via
 #: config_to_dict), ValidationStats snapshots gained a "strategy"
 #: field, and outcome tables may carry "abort_occ_ww".
-CACHE_FORMAT = 5
+#: 6: configs gained the streaming_metrics knob (in the key via
+#: config_to_dict) and metric snapshots may carry a conditional
+#: "streaming" aggregate block.
+CACHE_FORMAT = 6
 
 #: Default cache directory, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"

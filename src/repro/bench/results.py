@@ -130,6 +130,8 @@ def metrics_to_dict(metrics: PipelineMetrics) -> Dict[str, object]:
         snapshot["overload"] = metrics.overload.to_dict()
     if metrics.channels is not None:
         snapshot["channels"] = metrics.channels.to_dict()
+    if metrics.streaming is not None:
+        snapshot["streaming"] = metrics.streaming.to_dict()
     return snapshot
 
 
@@ -170,6 +172,10 @@ def metrics_from_dict(data: Dict[str, object]) -> PipelineMetrics:
         from repro.fabric.metrics import ChannelFleetStats
 
         metrics.channels = ChannelFleetStats.from_dict(data["channels"])
+    if "streaming" in data:
+        from repro.fabric.metrics import StreamingMetrics
+
+        metrics.streaming = StreamingMetrics.from_dict(data["streaming"])
     return metrics
 
 

@@ -39,6 +39,7 @@ from repro.fabric.config import (
     PopulationConfig,
 )
 from repro.fabric.metrics import (
+    STREAMING_SEED_SALT,
     ChannelFleetStats,
     ConsensusStats,
     OverloadStats,
@@ -214,6 +215,25 @@ class ShardedNetwork:
 
     # -- running --------------------------------------------------------------
 
+    def begin(self, duration: float) -> None:
+        """Launch every runtime's faults and clients without running the
+        environment — the embedding hook for the segmented checkpoint
+        loop (``repro.checkpoint``), mirroring ``FabricNetwork.begin``."""
+        if duration <= 0:
+            raise ConfigError("duration must be > 0")
+        for runtime in self.runtimes:
+            runtime.begin(duration)
+
+    def finish(self, duration: float) -> PipelineMetrics:
+        """Finalise per-runtime and fleet metrics after the environment
+        has been run (split out of :meth:`run` for external drivers)."""
+        for runtime in self.runtimes:
+            runtime.metrics.duration = duration
+        self.metrics = self._aggregate(duration)
+        if self.tracer is not None:
+            self.metrics.cost_breakdown = self.tracer.breakdown
+        return self.metrics
+
     def run(self, duration: float, drain: float = 3.0) -> PipelineMetrics:
         """Fire every channel's workload for ``duration`` simulated seconds.
 
@@ -223,10 +243,7 @@ class ShardedNetwork:
         :attr:`PipelineMetrics.channels`); per-channel metrics stay
         available as ``network.runtimes[i].metrics``.
         """
-        if duration <= 0:
-            raise ConfigError("duration must be > 0")
-        for runtime in self.runtimes:
-            runtime.begin(duration)
+        self.begin(duration)
         if self.tracer is not None:
             from repro.crypto import signing
 
@@ -237,12 +254,7 @@ class ShardedNetwork:
                 signing.set_trace_recorder(previous)
         else:
             self.env.run(until=duration + drain)
-        for runtime in self.runtimes:
-            runtime.metrics.duration = duration
-        self.metrics = self._aggregate(duration)
-        if self.tracer is not None:
-            self.metrics.cost_breakdown = self.tracer.breakdown
-        return self.metrics
+        return self.finish(duration)
 
     # -- aggregation ----------------------------------------------------------
 
@@ -258,11 +270,24 @@ class ShardedNetwork:
         """
         fleet = PipelineMetrics()
         fleet.duration = duration
+        if self.config.streaming_metrics:
+            # Streaming fleets merge bounded aggregates instead of
+            # concatenating per-transaction rows: the fleet object holds
+            # O(1) state regardless of run length or channel count. The
+            # merge is deterministic (order statistics, no RNG draws),
+            # so the fleet seed only names the — never-drawn-from —
+            # replacement stream.
+            fleet.enable_streaming(
+                mix_seed(self.config.seed, STREAMING_SEED_SALT)
+            )
+            fleet.streaming.set_window(duration)
         per_channel: List[Dict[str, object]] = []
         for channel, runtime in enumerate(self.runtimes):
             metrics = runtime.metrics
             for outcome, count in metrics.outcomes.items():
                 fleet.outcomes[outcome] += count
+            if fleet.streaming is not None and metrics.streaming is not None:
+                fleet.streaming.merge(metrics.streaming)
             fleet.commit_latencies.extend(metrics.commit_latencies)
             fleet.phase_latencies.extend(metrics.phase_latencies)
             fleet.block_sizes.extend(metrics.block_sizes)
@@ -301,7 +326,14 @@ class ShardedNetwork:
             fleet.outcomes[TxOutcome.SAGA_HALF_COMMITTED] += (
                 self.saga.stats.half_committed
             )
-            times.extend(self.saga.events)
+            if fleet.streaming is not None:
+                # Per-runtime streams already counted each leg; the saga
+                # outcomes (all non-success) fold in on top, matching
+                # the list-mode merge below.
+                for time, outcome in self.saga.events:
+                    fleet.streaming.window.observe(time, outcome.is_success)
+            else:
+                times.extend(self.saga.events)
         times.sort(key=lambda event: event[0])
         fleet.outcome_times = times
         fleet.fault_events.sort(key=lambda event: event[0])

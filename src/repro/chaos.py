@@ -299,18 +299,14 @@ def check_invariants(
     live = [peer for peer in network.peers if not peer.crashed]
     committed_ledger_total = 0
     for channel in network.channels:
-        chains = {
-            peer.name: list(peer.channels[channel].ledger)
-            for peer in live
+        ledgers = {peer.name: peer.channels[channel].ledger for peer in live}
+        reference_ledger = network.reference_peer.channels[channel].ledger
+        reference_hashes = {
+            block.block_id: block.header.data_hash
+            for block in reference_ledger
         }
-        reference_chain = list(
-            network.reference_peer.channels[channel].ledger
-        )
 
-        tips = {
-            blocks[-1].header.data_hash if blocks else b""
-            for blocks in chains.values()
-        }
+        tips = {ledger.tip_hash for ledger in ledgers.values()}
         if len(tips) != 1:
             fail(
                 "single_chain",
@@ -318,24 +314,29 @@ def check_invariants(
                 f"({len(tips)} distinct hashes)",
             )
 
-        min_height = min(len(blocks) for blocks in chains.values())
-        for name, blocks in chains.items():
-            for index in range(min_height):
+        # Prefix consistency is checked over the retained heights every
+        # pair holds in common — pruned ledgers keep a verified
+        # continuity record below ``first_block_id``, and the hashes
+        # above it must still agree block for block.
+        for name, ledger in ledgers.items():
+            for block in ledger:
+                reference_hash = reference_hashes.get(block.block_id)
                 if (
-                    blocks[index].header.data_hash
-                    != reference_chain[index].header.data_hash
+                    reference_hash is not None
+                    and block.header.data_hash != reference_hash
                 ):
                     fail(
                         "prefix_consistency",
                         f"{channel}: {name} diverges from the reference "
-                        f"at block {blocks[index].block_id}",
+                        f"at block {block.block_id}",
                     )
                     break
 
         for peer in live:
             ledger = peer.channels[channel].ledger
             ids = [block.block_id for block in ledger]
-            if ids != list(range(1, len(ids) + 1)):
+            first = ledger.first_block_id
+            if ids != list(range(first, first + len(ids))):
                 fail(
                     "monotone_chain",
                     f"{channel}: {peer.name} block ids not contiguous: {ids[:10]}",
@@ -347,7 +348,7 @@ def check_invariants(
                 )
 
         seen: Dict[str, int] = {}
-        for block in reference_chain:
+        for block in reference_ledger:
             for tx in list(block.transactions) + list(block.early_aborted):
                 seen[tx.tx_id] = seen.get(tx.tx_id, 0) + 1
         duplicated = [tx_id for tx_id, count in seen.items() if count > 1]
@@ -360,10 +361,15 @@ def check_invariants(
 
         committed_ledger_total += sum(
             1
-            for block in reference_chain
+            for block in reference_ledger
             for valid in block.validity.values()
             if valid
         )
+        # Valid transactions compacted below the prune point are
+        # accounted by the continuity record — committed work is never
+        # lost to pruning.
+        if reference_ledger.continuity is not None:
+            committed_ledger_total += reference_ledger.continuity.valid_txs
 
     committed_reported = network.metrics.outcomes.get(TxOutcome.COMMITTED, 0)
     if committed_reported != committed_ledger_total:
@@ -436,6 +442,143 @@ def run_chaos(
         faults.append(f"drop {schedule.drop_probability:.0%} of messages")
     if schedule.jitter_mean:
         faults.append(f"jitter mean {schedule.jitter_mean * 1e3:.1f}ms")
+
+    return ChaosReport(
+        seed=seed,
+        faults=faults,
+        invariants=invariants,
+        liveness=liveness,
+        converged=converged,
+        details=details,
+        fired=metrics.fired,
+        resolved=metrics.resolved,
+        committed=metrics.outcomes.get(TxOutcome.COMMITTED, 0),
+        blocks=metrics.blocks_committed,
+        elections=consensus.elections_started if consensus else 0,
+        leader_changes=consensus.leader_changes if consensus else 0,
+        messages_dropped=consensus.messages_dropped if consensus else 0,
+        txs_reproposed=consensus.txs_reproposed if consensus else 0,
+        duplicates_suppressed=(
+            consensus.duplicate_txs_suppressed if consensus else 0
+        ),
+        sim_time=network.env.now,
+    )
+
+
+def run_kill_resume_chaos(
+    seed: int,
+    duration: float = 1.5,
+    drain: float = 4.0,
+    orderer_nodes: int = 3,
+    fabric_plus_plus: bool = False,
+    checkpoint_every: float = 0.6,
+    kill_after: int = 2,
+    prune: bool = True,
+    max_convergence_rounds: int = 20,
+) -> ChaosReport:
+    """Chaos run with a process kill at a checkpoint boundary, resumed.
+
+    Runs the usual randomized fault schedule three ways: an
+    uninterrupted control (checkpointed, optionally pruning), a run
+    killed right after checkpoint ``kill_after``, and a resume from that
+    checkpoint. Raises :class:`~repro.errors.CheckpointError` if the
+    resumed run's final state (ledger exports, metrics, RNG streams,
+    event heap) is not byte-identical to the control, then evaluates the
+    five safety invariants plus liveness on the resumed network — the
+    restore boundary must be invisible to every consistency guarantee.
+    """
+    from repro.bench.spec import ExperimentSpec
+    from repro.checkpoint import (
+        CheckpointOptions,
+        capture_snapshot,
+        resume_run,
+        run_with_checkpoints,
+        verify_snapshot,
+    )
+    from repro.workloads.registry import WorkloadRef
+
+    schedule = generate_chaos_schedule(
+        seed, duration=duration, orderer_nodes=orderer_nodes
+    )
+    config = chaos_config(
+        seed,
+        duration=duration,
+        orderer_nodes=orderer_nodes,
+        schedule=schedule,
+        fabric_plus_plus=fabric_plus_plus,
+    )
+    spec = ExperimentSpec(
+        config=config,
+        workload=WorkloadRef(
+            "smallbank",
+            {"num_users": 200, "s_value": 1.0},
+            seed=mix_seed(seed, CHAOS_SEED_SALT, 3),
+        ),
+        duration=duration,
+        drain=drain,
+    )
+
+    _control_result, control_network, _ = run_with_checkpoints(
+        spec, CheckpointOptions(every=checkpoint_every, prune=prune)
+    )
+    killed_result, _killed_network, killed = run_with_checkpoints(
+        spec,
+        CheckpointOptions(
+            every=checkpoint_every, prune=prune, stop_after=kill_after
+        ),
+    )
+    if killed_result is not None or killed.latest is None:
+        raise ConfigError(
+            f"kill point (checkpoint {kill_after} of every="
+            f"{checkpoint_every}) fell outside the run; shrink "
+            "checkpoint_every or kill_after"
+        )
+    result, network, _ = resume_run(killed.latest)
+
+    # The restore boundary must be invisible: the resumed run's final
+    # state has to match the uninterrupted control bit for bit.
+    horizon = duration + drain
+    verify_snapshot(
+        capture_snapshot(control_network, horizon),
+        capture_snapshot(network, horizon),
+    )
+
+    metrics = result.metrics
+    converged = _settle(network, max_convergence_rounds)
+    invariants, details = check_invariants(network)
+
+    liveness = not network._pending and metrics.resolved == metrics.fired
+    for channel, orderer in network.orderers.items():
+        pending = getattr(orderer, "pending_count", 0)
+        if pending:
+            liveness = False
+            details.append(
+                f"liveness: {pending} transactions still queued in the "
+                f"{channel} ordering service"
+            )
+    if network._pending:
+        details.append(
+            f"liveness: {len(network._pending)} proposals never resolved"
+        )
+    if not converged:
+        details.append(
+            "liveness: live peers did not converge on one tip within "
+            f"{max_convergence_rounds} extra rounds"
+        )
+
+    consensus = metrics.consensus
+    faults = [window.describe() for window in schedule.crashes]
+    faults += [window.describe() for window in schedule.orderer_crashes]
+    faults += [window.describe() for window in schedule.partitions]
+    if schedule.drop_probability:
+        faults.append(f"drop {schedule.drop_probability:.0%} of messages")
+    if schedule.jitter_mean:
+        faults.append(f"jitter mean {schedule.jitter_mean * 1e3:.1f}ms")
+    faults.append(
+        f"killed after checkpoint {kill_after} "
+        f"(t={killed.latest['time']}), resumed"
+        + (" with pruning" if prune else "")
+    )
 
     return ChaosReport(
         seed=seed,

@@ -1,0 +1,697 @@
+"""Checkpoint/restore for long-horizon runs — logical snapshots plus
+deterministic-replay resume.
+
+A discrete-event simulation cannot be pickled mid-run: every in-flight
+process is a live Python generator. Instead of freezing the process
+graph, a checkpoint stores the *recipe* (the pickled
+:class:`~repro.bench.spec.ExperimentSpec`) together with a dense set of
+**verification digests** taken at an exact event boundary: per-channel
+ledger export hashes, per-peer state-database digests, the engine clock,
+sequence counter and event-heap digest, a digest over every seeded RNG
+stream reachable from the network, and the canonical metrics snapshot
+hash.
+
+Resume rebuilds the network from the embedded spec and *replays* from
+``t = 0`` up to the checkpoint boundary — the simulation is
+deterministic, so the replay reproduces the original run bit for bit.
+At the boundary every stored digest is re-computed and compared; any
+mismatch raises :class:`~repro.errors.CheckpointError` naming the
+diverging fields, which doubles as a nondeterminism oracle for the
+whole simulator. Past the boundary the run simply continues. Resume
+cost is therefore O(T) re-simulation, not O(1) — an honest trade that
+keeps checkpoints small, portable JSON and keeps the hot path free of
+snapshot bookkeeping (see ``docs/longruns.md``).
+
+Segmentation is free: ``env.run(until=b1); env.run(until=b2)`` is
+exactly equivalent to ``env.run(until=b2)`` (the engine drains the
+same-instant deque before returning and leaves later heap entries
+untouched), so a checkpointed run produces byte-identical ledgers and
+metrics to an uncheckpointed one.
+
+Ledger pruning (:func:`prune_network`) rides on the same boundaries:
+blocks below the fleet-wide minimum tip are folded into a
+:class:`~repro.ledger.ledger.ContinuityRecord`, so every peer —
+including crashed ones — can still catch up from any other.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+import os
+import pickle
+import types
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from random import Random
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.bench.results import ExperimentResult, metrics_to_dict
+from repro.bench.spec import ExperimentSpec
+from repro.errors import CheckpointError, ConfigError
+from repro.ledger.export import export_ledger
+from repro.ledger.ledger import Ledger
+from repro.ledger.state_db import StateDatabase
+from repro.sim.distributions import Rng
+from repro.sim.engine import Environment
+from repro.sim.resources import Resource
+
+#: Bump when the checkpoint payload layout changes; old files are
+#: rejected with a clear error instead of mis-verifying.
+CHECKPOINT_SCHEMA = 1
+
+#: File-name prefix for on-disk checkpoints (``checkpoint-000001.json``).
+CHECKPOINT_PREFIX = "checkpoint-"
+
+#: Safety valve for the object-graph walk — far above any real network.
+_WALK_NODE_LIMIT = 5_000_000
+
+#: Leaf types the graph walk never descends into.
+_TERMINAL_TYPES = (
+    str,
+    bytes,
+    bytearray,
+    bool,
+    int,
+    float,
+    complex,
+    type(None),
+)
+
+
+def _canonical_json(payload: object) -> str:
+    """Canonical JSON text — the hashing substrate for every digest."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _digest(payload: object) -> str:
+    """SHA-256 hex digest over the canonical JSON of ``payload``."""
+    return hashlib.sha256(_canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Object-graph walkers
+# ---------------------------------------------------------------------------
+
+
+def _slot_names(cls: type) -> List[str]:
+    names: List[str] = []
+    for klass in reversed(cls.__mro__):
+        slots = klass.__dict__.get("__slots__")
+        if slots is None:
+            continue
+        if isinstance(slots, str):
+            slots = (slots,)
+        names.extend(slots)
+    return names
+
+
+def _is_repro_object(obj: object) -> bool:
+    module = getattr(type(obj), "__module__", "") or ""
+    return module == "repro" or module.startswith("repro.")
+
+
+def _children(obj: object) -> Iterator[Tuple[str, object]]:
+    """Deterministic (label, child) pairs of one node in the walk.
+
+    Sets and frozensets are deliberately *not* traversed: their
+    iteration order depends on ``PYTHONHASHSEED``, and a resume may run
+    in a different interpreter process than the run that wrote the
+    checkpoint. Nothing checkpoint-relevant (RNG streams, resources)
+    lives inside a set.
+    """
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            label = f"[{key!r}]" if isinstance(key, _TERMINAL_TYPES) else "[?]"
+            if not isinstance(key, _TERMINAL_TYPES):
+                yield f"{label}#key", key
+            yield label, value
+        return
+    if isinstance(obj, (list, tuple, deque)):
+        for index, value in enumerate(obj):
+            yield f"[{index}]", value
+        return
+    if isinstance(obj, types.GeneratorType):
+        # Suspended workload/client coroutines keep RNGs in locals.
+        try:
+            frame_locals = inspect.getgeneratorlocals(obj)
+        except Exception:
+            return
+        for name, value in frame_locals.items():
+            yield f".<locals>.{name}", value
+        return
+    if not _is_repro_object(obj):
+        return
+    instance_dict = getattr(obj, "__dict__", None)
+    if instance_dict is not None:
+        for name, value in instance_dict.items():
+            yield f".{name}", value
+    for name in _slot_names(type(obj)):
+        try:
+            value = getattr(obj, name)
+        except AttributeError:
+            continue
+        yield f".{name}", value
+
+
+def walk_objects(root: object) -> Iterator[Tuple[str, object]]:
+    """Deterministic pre-order walk of the object graph under ``root``.
+
+    Yields ``(path, obj)`` for every reachable node. The order depends
+    only on the program's own construction order (dict insertion order,
+    attribute definition order), never on hashing, so two identical runs
+    — even in different interpreter processes — walk identically.
+    """
+    stack: List[Tuple[str, object]] = [("root", root)]
+    visited: set = set()
+    nodes = 0
+    while stack:
+        path, obj = stack.pop()
+        if isinstance(obj, _TERMINAL_TYPES):
+            continue
+        marker = id(obj)
+        if marker in visited:
+            continue
+        visited.add(marker)
+        nodes += 1
+        if nodes > _WALK_NODE_LIMIT:
+            raise CheckpointError(
+                f"object-graph walk exceeded {_WALK_NODE_LIMIT} nodes; "
+                "the network graph is unexpectedly unbounded"
+            )
+        yield path, obj
+        children = list(_children(obj))
+        for label, child in reversed(children):
+            stack.append((path + label, child))
+
+
+def iter_rng_streams(root: object) -> List[Tuple[str, object]]:
+    """Every seeded RNG reachable from ``root``, in deterministic order.
+
+    Collects both :class:`~repro.sim.distributions.Rng` wrappers and
+    bare :class:`random.Random` instances (the streaming-metrics
+    reservoir keeps one of the latter).
+    """
+    streams: List[Tuple[str, object]] = []
+    for path, obj in walk_objects(root):
+        if isinstance(obj, (Rng, Random)):
+            streams.append((path, obj))
+    return streams
+
+
+def iter_resources(root: object) -> List[Tuple[str, Resource]]:
+    """Every simulation :class:`Resource` reachable from ``root``."""
+    found: List[Tuple[str, Resource]] = []
+    for path, obj in walk_objects(root):
+        if isinstance(obj, Resource):
+            found.append((path, obj))
+    return found
+
+
+def resource_state(resource: Resource) -> Dict[str, object]:
+    """A plain, picklable summary of a resource's bookkeeping state.
+
+    Resources themselves hold waiter events whose callbacks close over
+    live generators, so they cannot be pickled wholesale; this captures
+    the observable counters instead.
+    """
+    return {
+        "capacity": resource.capacity,
+        "in_use": resource._in_use,
+        "queue_length": len(resource._waiters),
+        "sequence": resource._sequence,
+        "busy_time": resource.busy_time(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Digests
+# ---------------------------------------------------------------------------
+
+
+def ledger_digest(ledger: Ledger) -> str:
+    """Hash of the ledger's canonical export (continuity record included)."""
+    return _digest(export_ledger(ledger))
+
+
+def state_digest(state: StateDatabase) -> str:
+    """Order-independent hash of a peer's versioned key-value store."""
+    hasher = hashlib.sha256()
+    hasher.update(repr(state.last_block_id).encode("utf-8"))
+    for key in state._sorted_keys:
+        entry = state._data[key]
+        hasher.update(
+            repr(
+                (key, entry.value, entry.version.block_id, entry.version.tx_id)
+            ).encode("utf-8")
+        )
+    return hasher.hexdigest()
+
+
+def metrics_digest(metrics) -> str:
+    """Hash of the canonical metrics snapshot."""
+    return _digest(metrics_to_dict(metrics))
+
+
+def engine_digest(env: Environment) -> Dict[str, object]:
+    """Clock, sequence counter and a symbolic hash of the event heap.
+
+    Events cannot be serialised (they wrap generators), so the heap is
+    hashed symbolically: sorted ``(time, seq, type, process-name)``
+    rows. Two runs with identical schedules produce identical hashes;
+    replay divergence shows up here before it shows up in the ledger.
+    """
+    rows = sorted(
+        (repr(time), sequence, type(event).__name__, getattr(event, "_name", None) or "")
+        for time, sequence, event in env._queue
+    )
+    hasher = hashlib.sha256()
+    for row in rows:
+        hasher.update(repr(row).encode("utf-8"))
+    return {
+        "now": repr(env.now),
+        "sequence": env._sequence,
+        "events": len(env._queue),
+        "heap": hasher.hexdigest(),
+    }
+
+
+def rng_digest(root: object) -> Dict[str, object]:
+    """Aggregate digest over every reachable RNG stream's exact state.
+
+    Hashes the states in walk order but *not* the paths: paths can embed
+    ``id()``-keyed dict keys (e.g. workload sampler caches), which are
+    memory addresses and differ between the original process and a
+    resume. Walk order itself is insertion-order deterministic.
+    """
+    hasher = hashlib.sha256()
+    count = 0
+    for _path, stream in iter_rng_streams(root):
+        hasher.update(repr(stream.getstate()).encode("utf-8"))
+        count += 1
+    return {"streams": count, "digest": hasher.hexdigest()}
+
+
+def capture_snapshot(network, boundary: float) -> Dict[str, object]:
+    """The full verification snapshot of ``network`` at ``boundary``.
+
+    Read-only: capturing a snapshot never perturbs the simulation, so a
+    checkpointed run stays byte-identical to an uncheckpointed one.
+    """
+    runtimes = list(getattr(network, "runtimes", None) or [network])
+    channels: Dict[str, object] = {}
+    pending = 0
+    for runtime in runtimes:
+        pending += len(runtime._pending)
+        for channel in runtime.channels:
+            peers: Dict[str, object] = {}
+            for peer in runtime.peers:
+                pcs = peer.channels.get(channel)
+                if pcs is None:
+                    continue
+                peers[peer.name] = {
+                    "tip": pcs.ledger.tip_block_id,
+                    "tip_hash": pcs.ledger.tip_hash.hex(),
+                    "first_block": pcs.ledger.first_block_id,
+                    "state": state_digest(pcs.state),
+                }
+            reference = runtime.reference_peer.channels[channel]
+            orderer = runtime.orderers[channel]
+            channels[channel] = {
+                "ledger": ledger_digest(reference.ledger),
+                "peers": peers,
+                "orderer_pending": int(getattr(orderer, "pending_count", 0) or 0),
+            }
+    return {
+        "time": boundary,
+        "engine": engine_digest(network.env),
+        "channels": channels,
+        "metrics": [metrics_digest(runtime.metrics) for runtime in runtimes],
+        "rng": rng_digest(network),
+        "pending": pending,
+    }
+
+
+def _diff_snapshots(expected, actual, path: str, mismatches: List[str]) -> None:
+    if len(mismatches) >= 8:
+        return
+    if isinstance(expected, dict) and isinstance(actual, dict):
+        for key in sorted(set(expected) | set(actual)):
+            if key not in expected or key not in actual:
+                mismatches.append(f"{path}.{key} (missing on one side)")
+                continue
+            _diff_snapshots(expected[key], actual[key], f"{path}.{key}", mismatches)
+        return
+    if isinstance(expected, list) and isinstance(actual, list):
+        if len(expected) != len(actual):
+            mismatches.append(f"{path} (length {len(expected)} != {len(actual)})")
+            return
+        for index, (left, right) in enumerate(zip(expected, actual)):
+            _diff_snapshots(left, right, f"{path}[{index}]", mismatches)
+        return
+    if expected != actual:
+        mismatches.append(f"{path} ({expected!r} != {actual!r})")
+
+
+def verify_snapshot(expected: Dict[str, object], actual: Dict[str, object]) -> None:
+    """Compare two snapshots; raise :class:`CheckpointError` on divergence.
+
+    Both sides are normalised through canonical JSON first so that a
+    snapshot freshly captured in memory compares equal to one that
+    round-tripped through a checkpoint file.
+    """
+    expected_norm = json.loads(_canonical_json(expected))
+    actual_norm = json.loads(_canonical_json(actual))
+    if expected_norm == actual_norm:
+        return
+    mismatches: List[str] = []
+    _diff_snapshots(expected_norm, actual_norm, "snapshot", mismatches)
+    raise CheckpointError(
+        "resumed run diverged from the checkpoint at simulated time "
+        f"{expected.get('time')}: " + "; ".join(mismatches)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Pruning
+# ---------------------------------------------------------------------------
+
+
+def prune_network(network) -> int:
+    """Prune every ledger below the fleet-wide safe height, per channel.
+
+    The safe height is the *minimum* tip over **all** peers holding the
+    channel — crashed and recovering peers included — so any follower
+    can still ``catch_up_from`` any source after the prune: the slowest
+    follower's next needed block is never folded away. Returns the total
+    number of blocks pruned across the fleet.
+    """
+    runtimes = list(getattr(network, "runtimes", None) or [network])
+    pruned = 0
+    for runtime in runtimes:
+        for channel in runtime.channels:
+            states = [
+                peer.channels[channel]
+                for peer in runtime.peers
+                if channel in peer.channels
+            ]
+            if not states:
+                continue
+            safe = min(pcs.ledger.tip_block_id for pcs in states)
+            for pcs in states:
+                pruned += pcs.ledger.prune_below(safe)
+    return pruned
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint files
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CheckpointOptions:
+    """How a run is checkpointed.
+
+    These knobs are runtime-only — deliberately *not* part of
+    :class:`FabricConfig` — so cache fingerprints and golden hashes are
+    unaffected by how (or whether) a run was checkpointed.
+    """
+
+    #: Simulated seconds between checkpoints.
+    every: float
+    #: Where checkpoint files go; ``None`` keeps checkpoints in memory
+    #: only (the chaos kill-and-resume harness uses this).
+    directory: Optional[Union[str, Path]] = None
+    #: Prune ledgers below the fleet-safe height at every boundary.
+    prune: bool = False
+    #: Retain only the newest N checkpoint files (None keeps all).
+    keep: Optional[int] = None
+    #: Stop the run right after writing this many checkpoints — the
+    #: in-process stand-in for SIGKILL in kill-and-resume tests.
+    stop_after: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.every <= 0:
+            raise ConfigError(
+                f"checkpoint interval must be > 0, got {self.every}"
+            )
+        if self.keep is not None and self.keep < 1:
+            raise ConfigError(f"keep must be >= 1, got {self.keep}")
+
+
+class Checkpointer:
+    """Builds, verifies, and persists checkpoints for one run."""
+
+    def __init__(self, spec: ExperimentSpec, options: CheckpointOptions) -> None:
+        self.spec = spec
+        self.options = options
+        #: Every checkpoint built this run, newest last (also the store
+        #: in in-memory mode).
+        self.checkpoints: List[Dict[str, object]] = []
+        try:
+            self._spec_pickle = pickle.dumps(spec)
+        except (pickle.PicklingError, TypeError, AttributeError) as error:
+            raise CheckpointError(
+                "experiment spec is not picklable — checkpointed runs "
+                "need a data-only spec (use a WorkloadRef workload): "
+                f"{error!r}"
+            ) from error
+
+    def boundaries(self, horizon: float) -> Iterator[float]:
+        """Checkpoint times ``every, 2*every, ...`` strictly inside the
+        horizon. Computed as ``index * every`` so an original run and a
+        replay land on bit-identical boundaries."""
+        index = 1
+        while True:
+            boundary = index * self.options.every
+            if boundary >= horizon:
+                return
+            yield boundary
+            index += 1
+
+    def build(self, index: int, boundary: float, snapshot: Dict[str, object]) -> Dict[str, object]:
+        """Assemble the JSON checkpoint payload for one boundary."""
+        return {
+            "schema": CHECKPOINT_SCHEMA,
+            "index": index,
+            "time": boundary,
+            "every": self.options.every,
+            "prune": self.options.prune,
+            "label": self.spec.resolved_label(),
+            "duration": self.spec.duration,
+            "drain": self.spec.drain,
+            "spec": self._spec_pickle.hex(),
+            "snapshot": snapshot,
+        }
+
+    def write(self, checkpoint: Dict[str, object]) -> Optional[Path]:
+        """Persist one checkpoint; returns its path (None in-memory).
+
+        Files are published atomically (temp file + ``os.replace``) so a
+        kill mid-write never leaves a torn checkpoint — at worst the
+        previous checkpoint stays the newest loadable one.
+        """
+        self.checkpoints.append(checkpoint)
+        if self.options.directory is None:
+            return None
+        directory = Path(self.options.directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{CHECKPOINT_PREFIX}{checkpoint['index']:06d}.json"
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(checkpoint, sort_keys=True))
+        os.replace(tmp, path)
+        if self.options.keep is not None:
+            files = sorted(directory.glob(f"{CHECKPOINT_PREFIX}*.json"))
+            for stale in files[: -self.options.keep]:
+                try:
+                    stale.unlink()
+                except OSError:
+                    pass
+        return path
+
+    @property
+    def latest(self) -> Optional[Dict[str, object]]:
+        """The newest checkpoint built this run, if any."""
+        return self.checkpoints[-1] if self.checkpoints else None
+
+
+def load_checkpoint(path: Union[str, Path]) -> Dict[str, object]:
+    """Load and validate one checkpoint file."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise CheckpointError(f"cannot read checkpoint {path}: {error}") from error
+    if not isinstance(payload, dict) or payload.get("schema") != CHECKPOINT_SCHEMA:
+        raise CheckpointError(
+            f"checkpoint {path} has schema "
+            f"{payload.get('schema') if isinstance(payload, dict) else '?'}; "
+            f"this build reads schema {CHECKPOINT_SCHEMA}"
+        )
+    for field in ("index", "time", "every", "prune", "spec", "snapshot"):
+        if field not in payload:
+            raise CheckpointError(f"checkpoint {path} is missing field {field!r}")
+    return payload
+
+
+def load_latest_checkpoint(target: Union[str, Path]) -> Dict[str, object]:
+    """Load the newest readable checkpoint from a file or directory.
+
+    Corrupt newer files (e.g. from a torn write on a filesystem without
+    atomic replace) are skipped with the error preserved in the final
+    message if nothing loads.
+    """
+    target = Path(target)
+    if target.is_file():
+        return load_checkpoint(target)
+    if not target.is_dir():
+        raise CheckpointError(f"no checkpoint file or directory at {target}")
+    errors: List[str] = []
+    for path in sorted(target.glob(f"{CHECKPOINT_PREFIX}*.json"), reverse=True):
+        try:
+            return load_checkpoint(path)
+        except CheckpointError as error:
+            errors.append(str(error))
+    detail = f" ({'; '.join(errors)})" if errors else ""
+    raise CheckpointError(f"no loadable checkpoint under {target}{detail}")
+
+
+def spec_from_checkpoint(checkpoint: Dict[str, object]) -> ExperimentSpec:
+    """Recover the embedded experiment spec from a checkpoint payload."""
+    try:
+        spec = pickle.loads(bytes.fromhex(checkpoint["spec"]))
+    except Exception as error:
+        raise CheckpointError(
+            f"corrupt spec in checkpoint: {error!r}"
+        ) from error
+    if not isinstance(spec, ExperimentSpec):
+        raise CheckpointError(
+            f"checkpoint spec decoded to {type(spec).__name__}, "
+            "expected ExperimentSpec"
+        )
+    return spec
+
+
+# ---------------------------------------------------------------------------
+# Run drivers
+# ---------------------------------------------------------------------------
+
+
+@contextmanager
+def _trace_recording(tracer):
+    """Replicate ``FabricNetwork.run``'s crypto-recorder wrap."""
+    if tracer is None:
+        yield
+        return
+    from repro.crypto import signing
+
+    previous = signing.set_trace_recorder(tracer.record_crypto_op)
+    try:
+        yield
+    finally:
+        signing.set_trace_recorder(previous)
+
+
+def _drive(network, spec, options, checkpointer, tracer, resume=None):
+    """Run ``network`` through the segmented checkpoint loop.
+
+    With ``resume`` set (a loaded checkpoint payload), boundaries up to
+    the resume index replay silently (re-applying prunes), the resume
+    boundary is captured and verified against the stored snapshot, and
+    later boundaries checkpoint normally. Returns the final metrics, or
+    ``None`` when ``options.stop_after`` ended the run early.
+    """
+    duration = spec.duration
+    horizon = duration + spec.drain
+    resume_index = int(resume["index"]) if resume is not None else 0
+    network.begin(duration)
+    with _trace_recording(tracer):
+        written = 0
+        for index, boundary in enumerate(checkpointer.boundaries(horizon), start=1):
+            network.env.run(until=boundary)
+            if options.prune:
+                prune_network(network)
+            if resume is not None and index < resume_index:
+                continue
+            snapshot = capture_snapshot(network, boundary)
+            if resume is not None and index == resume_index:
+                verify_snapshot(resume["snapshot"], snapshot)
+                continue
+            checkpointer.write(checkpointer.build(index, boundary, snapshot))
+            written += 1
+            if options.stop_after is not None and written >= options.stop_after:
+                return None
+        network.env.run(until=horizon)
+    return network.finish(duration)
+
+
+def _build_network(spec: ExperimentSpec, tracer):
+    config = spec.resolved_config()
+    # Imported here for the same layering reason as in the bench harness:
+    # repro.channels sits above both the fabric layer and this module.
+    from repro.channels import build_network
+
+    return build_network(config, spec.build_workload(), tracer=tracer)
+
+
+def _result(spec: ExperimentSpec, metrics) -> ExperimentResult:
+    return ExperimentResult(
+        label=spec.resolved_label(),
+        config=spec.resolved_config(),
+        metrics=metrics,
+        duration=spec.duration,
+        params=dict(spec.params),
+    )
+
+
+def run_with_checkpoints(
+    spec: ExperimentSpec,
+    options: CheckpointOptions,
+    tracer=None,
+):
+    """Run ``spec`` with periodic checkpoints.
+
+    Returns ``(result, network, checkpointer)``. ``result`` is ``None``
+    when ``options.stop_after`` killed the run early — resume from
+    ``checkpointer.latest`` (in-memory) or the checkpoint directory.
+    """
+    network = _build_network(spec, tracer)
+    checkpointer = Checkpointer(spec, options)
+    metrics = _drive(network, spec, options, checkpointer, tracer)
+    if metrics is None:
+        return None, network, checkpointer
+    return _result(spec, metrics), network, checkpointer
+
+
+def resume_run(
+    target: Union[str, Path, Dict[str, object]],
+    tracer=None,
+):
+    """Resume a killed run from a checkpoint file, directory, or payload.
+
+    Rebuilds the network from the embedded spec, replays to the
+    checkpoint boundary, verifies every stored digest (raising
+    :class:`CheckpointError` on divergence), then runs to completion —
+    writing any remaining checkpoints along the way when the checkpoint
+    came from a directory. Returns ``(result, network, checkpointer)``.
+    """
+    directory: Optional[Path] = None
+    if isinstance(target, dict):
+        checkpoint = target
+    else:
+        path = Path(target)
+        checkpoint = load_latest_checkpoint(path)
+        directory = path if path.is_dir() else path.parent
+    spec = spec_from_checkpoint(checkpoint)
+    options = CheckpointOptions(
+        every=float(checkpoint["every"]),
+        directory=directory,
+        prune=bool(checkpoint["prune"]),
+    )
+    network = _build_network(spec, tracer)
+    checkpointer = Checkpointer(spec, options)
+    metrics = _drive(network, spec, options, checkpointer, tracer, resume=checkpoint)
+    return _result(spec, metrics), network, checkpointer

@@ -121,6 +121,35 @@ def build_parser() -> argparse.ArgumentParser:
                 help="export the reference peer's verified ledger to PATH "
                      "as JSON (multi-channel runs add a .<channel> suffix)",
             )
+            sub.add_argument(
+                "--checkpoint-every", type=float, default=None, metavar="S",
+                help="write a verification checkpoint every S simulated "
+                     "seconds (default: no checkpoints; runs are "
+                     "byte-identical either way)",
+            )
+            sub.add_argument(
+                "--checkpoint-dir", default=None, metavar="DIR",
+                help="directory for checkpoint files (default "
+                     ".repro-checkpoints/ when --checkpoint-every is set)",
+            )
+            sub.add_argument(
+                "--checkpoint-keep", type=int, default=None, metavar="N",
+                help="retain only the newest N checkpoint files",
+            )
+            sub.add_argument(
+                "--resume-from", default=None, metavar="PATH",
+                help="resume a killed run from a checkpoint file or "
+                     "directory (replays deterministically to the "
+                     "checkpoint, verifies its digests, then continues); "
+                     "workload/config flags are ignored — the run is "
+                     "rebuilt from the spec embedded in the checkpoint",
+            )
+            sub.add_argument(
+                "--prune", action="store_true",
+                help="at each checkpoint boundary, fold blocks below the "
+                     "fleet-safe height into a verifiable continuity "
+                     "record (requires --checkpoint-every)",
+            )
         if name in ("run", "profile"):
             sub.add_argument(
                 "--trace", metavar="PATH", default=None,
@@ -128,6 +157,12 @@ def build_parser() -> argparse.ArgumentParser:
                      "(open in Perfetto or chrome://tracing)"
                      + (" — profile adds a .<system> suffix per system"
                         if name == "profile" else ""),
+            )
+            sub.add_argument(
+                "--trace-ring", type=int, default=None, metavar="N",
+                help="span ring-buffer capacity (default 65536); when the "
+                     "ring overflows, oldest spans are dropped and the "
+                     "drop count is reported",
             )
         sub.add_argument(
             "--duration", type=float, default=3.0,
@@ -357,6 +392,13 @@ def _add_system_arguments(sub: argparse.ArgumentParser, with_system: bool) -> No
                      help="pause block delivery while any peer holds N "
                           "unvalidated blocks, propagating validation "
                           "backpressure to admission (default 0 = unbounded)")
+    sub.add_argument("--streaming-metrics", action="store_true",
+                     help="aggregate metrics online (bounded reservoir "
+                          "percentiles, O(1) memory in run length) instead "
+                          "of keeping per-transaction lists; throughput "
+                          "and counts stay exact, percentiles are "
+                          "approximate (default: off, bit-identical "
+                          "metrics)")
 
 
 def _add_fault_arguments(sub: argparse.ArgumentParser) -> None:
@@ -588,6 +630,7 @@ def config_from_args(args: argparse.Namespace) -> FabricConfig:
         orderer_nodes=getattr(args, "orderer_nodes", 1),
         traffic=traffic_from_args(args),
         backpressure=backpressure_from_args(args),
+        streaming_metrics=getattr(args, "streaming_metrics", False),
     )
     max_resubmits = getattr(args, "max_resubmits", None)
     if max_resubmits is not None:
@@ -610,21 +653,75 @@ def config_from_args(args: argparse.Namespace) -> FabricConfig:
     return config
 
 
+def _tracer_from_args(args: argparse.Namespace):
+    """Build the run's tracer, honouring ``--trace-ring`` (or None)."""
+    if not getattr(args, "trace", None):
+        return None
+    from repro.trace import Tracer
+
+    ring = getattr(args, "trace_ring", None)
+    return Tracer() if ring is None else Tracer(capacity=ring)
+
+
+def _warn_dropped_spans(tracer) -> None:
+    """Surface span-ring evictions so a truncated trace is never silent."""
+    if tracer is not None and tracer.buffer.dropped:
+        print(
+            f"warning: trace ring overflowed — {tracer.buffer.dropped} "
+            f"oldest spans dropped (capacity {tracer.buffer.capacity}; "
+            "raise with --trace-ring)",
+            file=sys.stderr,
+        )
+
+
+#: Default directory for ``run --checkpoint-every`` files.
+DEFAULT_CHECKPOINT_DIR = ".repro-checkpoints"
+
+
 def command_run(args: argparse.Namespace) -> int:
     from repro.bench.harness import run_experiment_with_network
 
-    tracer = None
-    if getattr(args, "trace", None):
-        from repro.trace import Tracer
+    tracer = _tracer_from_args(args)
+    checkpointer = None
+    if getattr(args, "resume_from", None):
+        from repro.checkpoint import load_latest_checkpoint, resume_run
 
-        tracer = Tracer()
-    spec = ExperimentSpec(
-        config=config_from_args(args),
-        workload=workload_ref_from_args(args),
-        duration=args.duration,
-        drain=args.drain,
-    )
-    result, network = run_experiment_with_network(spec, tracer=tracer)
+        checkpoint = load_latest_checkpoint(args.resume_from)
+        print(
+            f"resuming {checkpoint['label']} from checkpoint "
+            f"{checkpoint['index']} (t={checkpoint['time']}): replaying "
+            "deterministically and verifying digests..."
+        )
+        result, network, checkpointer = resume_run(args.resume_from, tracer=tracer)
+        print("checkpoint digests verified; run completed\n")
+    else:
+        if getattr(args, "prune", False) and not getattr(args, "checkpoint_every", None):
+            raise ConfigError("--prune requires --checkpoint-every")
+        spec = ExperimentSpec(
+            config=config_from_args(args),
+            workload=workload_ref_from_args(args),
+            duration=args.duration,
+            drain=args.drain,
+        )
+        if getattr(args, "checkpoint_every", None):
+            from repro.checkpoint import CheckpointOptions, run_with_checkpoints
+
+            directory = args.checkpoint_dir or DEFAULT_CHECKPOINT_DIR
+            options = CheckpointOptions(
+                every=args.checkpoint_every,
+                directory=directory,
+                prune=args.prune,
+                keep=getattr(args, "checkpoint_keep", None),
+            )
+            result, network, checkpointer = run_with_checkpoints(
+                spec, options, tracer=tracer
+            )
+            print(
+                f"wrote {len(checkpointer.checkpoints)} checkpoints "
+                f"to {directory}\n"
+            )
+        else:
+            result, network = run_experiment_with_network(spec, tracer=tracer)
     print(format_table([result.row()], title=f"{result.label} / {args.workload}"))
     fleet = result.metrics.channels
     if fleet is not None:
@@ -645,6 +742,7 @@ def command_run(args: argparse.Namespace) -> int:
 
         write_chrome_trace(args.trace, tracer)
         print(f"\nwrote Chrome trace ({len(tracer.spans())} spans) to {args.trace}")
+        _warn_dropped_spans(tracer)
         print()
         print(tracer.breakdown.table(title=f"{result.label} cost attribution"))
     if args.export_ledger:
@@ -815,11 +913,12 @@ def command_profile(args: argparse.Namespace) -> int:
     base_config = config_from_args(args)
     workload_ref = workload_ref_from_args(args)
     rows = []
+    ring = getattr(args, "trace_ring", None)
     for system, config in (
         ("fabric", base_config.with_vanilla()),
         ("fabric++", base_config.with_fabric_plus_plus()),
     ):
-        tracer = Tracer()
+        tracer = Tracer() if ring is None else Tracer(capacity=ring)
         spec = ExperimentSpec(
             config=config,
             workload=workload_ref,
@@ -835,6 +934,7 @@ def command_profile(args: argparse.Namespace) -> int:
             print(f"wrote {result.label} Chrome trace "
                   f"({len(tracer.spans())} spans) to {path}")
             print()
+        _warn_dropped_spans(tracer)
         rows.append(
             {
                 "system": result.label,
@@ -843,6 +943,7 @@ def command_profile(args: argparse.Namespace) -> int:
                     f"{tracer.breakdown.crypto_network_share() * 100.0:.1f}%"
                 ),
                 "traced_seconds": round(tracer.breakdown.total_seconds, 3),
+                "spans_dropped": tracer.buffer.dropped,
             }
         )
     print(format_table(rows, title="profile summary"))
@@ -973,8 +1074,17 @@ def command_verify_ledger(args: argparse.Namespace) -> int:
         for flag in block.validity.values()
         if flag
     )
+    pruned_note = ""
+    if ledger.continuity is not None:
+        record = ledger.continuity
+        transactions += record.txs
+        valid += record.valid_txs
+        pruned_note = (
+            f" ({record.blocks} blocks below height {ledger.first_block_id} "
+            "compacted into a verified continuity record)"
+        )
     print(f"OK: {ledger.height} blocks, {transactions} transactions "
-          f"({valid} valid), chain intact")
+          f"({valid} valid), chain intact{pruned_note}")
     return 0
 
 

@@ -22,6 +22,11 @@ class LedgerVerificationError(LedgerError):
         self.block_index = block_index
 
 
+class CheckpointError(ReproError):
+    """Raised when a checkpoint file is corrupt, unreadable, or a resumed
+    run diverges from the digests the checkpoint recorded."""
+
+
 class StateError(ReproError):
     """Raised for invalid operations on the state database."""
 

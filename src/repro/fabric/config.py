@@ -374,6 +374,16 @@ class FabricConfig:
     #: by an SCC-based fallback sweep.
     max_cycles_per_block: int = 1000
 
+    #: O(1)-memory metrics for long-horizon runs: replace the unbounded
+    #: per-transaction sample lists in :class:`PipelineMetrics` with
+    #: online aggregates plus a seeded bounded reservoir for latency
+    #: percentiles (``repro.fabric.metrics.StreamingMetrics``; accuracy
+    #: bounds in ``docs/longruns.md``). Default off — disabled runs are
+    #: byte-identical to pre-streaming builds. Purely observational:
+    #: enabling it never changes the event schedule, only how outcomes
+    #: are aggregated.
+    streaming_metrics: bool = False
+
     seed: int = 42
 
     @property

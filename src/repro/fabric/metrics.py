@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import enum
 import math
+import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -111,6 +112,327 @@ class LatencyStats:
             p95=percentile(0.95),
             p99=percentile(0.99),
         )
+
+
+# -- streaming (O(1)-memory) aggregation ----------------------------------------
+#
+# Long-horizon runs cannot afford the per-transaction sample lists above:
+# hours of simulated time at thousands of TPS means tens of millions of
+# floats held until the summary. ``FabricConfig.streaming_metrics``
+# (default off, bit-identical when off) swaps them for the bounded
+# aggregates below — exact counters for everything the paper reports as
+# an average or a total, and a seeded reservoir for the latency
+# percentiles (approximate within O(1/sqrt(capacity)); count, min, mean
+# and max stay exact). See ``docs/longruns.md`` for the accuracy bounds.
+
+#: Latency samples retained for streaming percentile estimation.
+STREAMING_RESERVOIR_CAPACITY = 4096
+
+#: Throughput-timeseries buckets retained before the bucket width doubles.
+STREAMING_BUCKET_LIMIT = 512
+
+#: Salt separating the reservoir's replacement stream from every other
+#: seeded stream (metrics must never perturb simulation randomness).
+STREAMING_SEED_SALT = 0x57E3
+
+
+class StreamingLatency:
+    """Online latency aggregation with a seeded bounded reservoir.
+
+    Count, sum, minimum and maximum are exact; percentiles come from a
+    uniform random sample of ``capacity`` values (Vitter's algorithm R),
+    so they are exact until ``capacity`` samples have been seen and
+    approximate afterwards. The reservoir's replacement decisions use a
+    private seeded stream, so identical runs produce identical summaries.
+    """
+
+    __slots__ = (
+        "seed",
+        "capacity",
+        "count",
+        "total",
+        "minimum",
+        "maximum",
+        "samples",
+        "_random",
+    )
+
+    def __init__(
+        self, seed: int, capacity: int = STREAMING_RESERVOIR_CAPACITY
+    ) -> None:
+        self.seed = seed
+        self.capacity = capacity
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+        self.samples: List[float] = []
+        self._random = random.Random(seed)
+
+    def add(self, value: float) -> None:
+        """Fold one latency sample into the aggregate."""
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+        if len(self.samples) < self.capacity:
+            self.samples.append(value)
+        else:
+            slot = self._random.randrange(self.count)
+            if slot < self.capacity:
+                self.samples[slot] = value
+
+    def merge(self, other: "StreamingLatency") -> None:
+        """Fold another stream's aggregate in (fleet aggregation).
+
+        Exact fields combine exactly. The merged reservoir keeps at most
+        ``capacity`` values: evenly spaced order statistics of the
+        combined sample — a deterministic, distribution-preserving
+        down-sample (no RNG draw, so merging never perturbs the
+        per-channel streams).
+        """
+        if other.count == 0:
+            return
+        self.count += other.count
+        self.total += other.total
+        for bound in (other.minimum, other.maximum):
+            if self.minimum is None or bound < self.minimum:
+                self.minimum = bound
+            if self.maximum is None or bound > self.maximum:
+                self.maximum = bound
+        combined = sorted(self.samples + other.samples)
+        if len(combined) > self.capacity:
+            step = len(combined) / self.capacity
+            combined = [
+                combined[min(len(combined) - 1, int((i + 0.5) * step))]
+                for i in range(self.capacity)
+            ]
+        self.samples = combined
+
+    def stats(self) -> Optional[LatencyStats]:
+        """Latency summary; percentiles from the reservoir, rest exact."""
+        if not self.count:
+            return None
+        stats = LatencyStats.from_samples(self.samples)
+        stats.count = self.count
+        stats.minimum = self.minimum
+        stats.average = self.total / self.count
+        stats.maximum = self.maximum
+        return stats
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form for JSON round-tripping (summary-grade: the
+        replacement stream is reseeded on load, so a deserialised
+        aggregate reports identically but must not keep recording)."""
+        return {
+            "seed": self.seed,
+            "capacity": self.capacity,
+            "count": self.count,
+            "total": self.total,
+            "minimum": self.minimum,
+            "maximum": self.maximum,
+            "samples": list(self.samples),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "StreamingLatency":
+        """Rebuild from :meth:`to_dict` output."""
+        stream = cls(seed=data["seed"], capacity=data["capacity"])
+        stream.count = data["count"]
+        stream.total = data["total"]
+        stream.minimum = data["minimum"]
+        stream.maximum = data["maximum"]
+        stream.samples = list(data["samples"])
+        return stream
+
+
+class StreamingWindow:
+    """Bounded outcome-time aggregation: exact windowed counts plus a
+    bucket histogram whose width doubles once the bucket budget is hit.
+
+    Replaces the unbounded ``outcome_times`` list. The windowed
+    success/failure counters (outcomes at simulated time <= the
+    measurement window) are exact — they feed the headline TPS numbers.
+    The per-bucket histogram behind ``throughput_timeseries`` holds at
+    most ``limit`` buckets: when an outcome lands past the last bucket,
+    the width doubles and adjacent buckets fold pairwise, so resolution
+    degrades gracefully instead of memory growing with the horizon.
+    """
+
+    __slots__ = (
+        "width",
+        "limit",
+        "window_end",
+        "windowed_success",
+        "windowed_fail",
+        "success",
+        "fail",
+    )
+
+    def __init__(
+        self, width: float = 1.0, limit: int = STREAMING_BUCKET_LIMIT
+    ) -> None:
+        self.width = width
+        self.limit = limit
+        #: Measurement window; set by the harness before traffic starts.
+        self.window_end: Optional[float] = None
+        self.windowed_success = 0
+        self.windowed_fail = 0
+        self.success: List[int] = []
+        self.fail: List[int] = []
+
+    def observe(self, now: float, is_success: bool) -> None:
+        """Fold one timestamped outcome into the aggregate."""
+        end = self.window_end
+        if end is not None and now > end:
+            # Drain-period outcome: excluded from the windowed counters
+            # and the timeseries, exactly like the non-streaming path.
+            return
+        if is_success:
+            self.windowed_success += 1
+        else:
+            self.windowed_fail += 1
+        index = int(now / self.width)
+        while index >= self.limit:
+            self._coalesce()
+            index = int(now / self.width)
+        while len(self.success) <= index:
+            self.success.append(0)
+            self.fail.append(0)
+        if is_success:
+            self.success[index] += 1
+        else:
+            self.fail[index] += 1
+
+    def _coalesce(self) -> None:
+        """Double the bucket width, folding adjacent buckets pairwise."""
+        self.width *= 2.0
+        self.success = [
+            sum(self.success[i : i + 2])
+            for i in range(0, len(self.success), 2)
+        ]
+        self.fail = [
+            sum(self.fail[i : i + 2]) for i in range(0, len(self.fail), 2)
+        ]
+
+    def merge(self, other: "StreamingWindow") -> None:
+        """Fold another window in, reconciling bucket widths first.
+
+        Widths are power-of-two multiples of the initial width, so the
+        wider stream's buckets map exactly onto the narrower one's after
+        coalescing — the merged histogram equals the one a single stream
+        would have built from the union of outcomes.
+        """
+        while self.width < other.width:
+            self._coalesce()
+        for index in range(len(other.success)):
+            target = int(index * other.width / self.width)
+            while len(self.success) <= target:
+                self.success.append(0)
+                self.fail.append(0)
+            self.success[target] += other.success[index]
+            self.fail[target] += other.fail[index]
+        self.windowed_success += other.windowed_success
+        self.windowed_fail += other.windowed_fail
+        if other.window_end is not None:
+            if self.window_end is None or other.window_end > self.window_end:
+                self.window_end = other.window_end
+
+    def timeseries(self, duration: float) -> List[Dict[str, object]]:
+        """Per-bucket throughput rows at the window's native width."""
+        if duration <= 0:
+            return []
+        count = max(1, math.ceil(round(duration / self.width, 9)))
+        rows = []
+        for index in range(count):
+            successes = self.success[index] if index < len(self.success) else 0
+            failures = self.fail[index] if index < len(self.fail) else 0
+            rows.append(
+                {
+                    "t": round((index + 1) * self.width, 3),
+                    "successful_tps": successes / self.width,
+                    "failed_tps": failures / self.width,
+                }
+            )
+        return rows
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form for JSON round-tripping."""
+        return {
+            "width": self.width,
+            "limit": self.limit,
+            "window_end": self.window_end,
+            "windowed_success": self.windowed_success,
+            "windowed_fail": self.windowed_fail,
+            "success": list(self.success),
+            "fail": list(self.fail),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "StreamingWindow":
+        """Rebuild from :meth:`to_dict` output."""
+        window = cls(width=data["width"], limit=data["limit"])
+        window.window_end = data["window_end"]
+        window.windowed_success = data["windowed_success"]
+        window.windowed_fail = data["windowed_fail"]
+        window.success = list(data["success"])
+        window.fail = list(data["fail"])
+        return window
+
+
+class StreamingMetrics:
+    """The full O(1)-memory aggregate behind ``streaming_metrics``.
+
+    Groups the latency reservoir, the windowed outcome counters and
+    bucket histogram, the per-phase latency sums, and the block-size
+    total — everything :class:`PipelineMetrics` otherwise keeps as
+    unbounded per-transaction lists.
+    """
+
+    __slots__ = ("latency", "window", "phase_count", "phase_sums", "block_total")
+
+    def __init__(self, seed: int = 0) -> None:
+        self.latency = StreamingLatency(seed)
+        self.window = StreamingWindow()
+        self.phase_count = 0
+        self.phase_sums = [0.0, 0.0, 0.0]
+        self.block_total = 0
+
+    def set_window(self, duration: float) -> None:
+        """Pin the measurement window (harness calls this at run start)."""
+        self.window.window_end = duration
+
+    def merge(self, other: "StreamingMetrics") -> None:
+        """Fold another channel's aggregate in (fleet aggregation)."""
+        self.latency.merge(other.latency)
+        self.window.merge(other.window)
+        self.phase_count += other.phase_count
+        for index in range(3):
+            self.phase_sums[index] += other.phase_sums[index]
+        self.block_total += other.block_total
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form for JSON round-tripping."""
+        return {
+            "latency": self.latency.to_dict(),
+            "window": self.window.to_dict(),
+            "phase_count": self.phase_count,
+            "phase_sums": list(self.phase_sums),
+            "block_total": self.block_total,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "StreamingMetrics":
+        """Rebuild from :meth:`to_dict` output."""
+        streaming = cls()
+        streaming.latency = StreamingLatency.from_dict(data["latency"])
+        streaming.window = StreamingWindow.from_dict(data["window"])
+        streaming.phase_count = data["phase_count"]
+        streaming.phase_sums = list(data["phase_sums"])
+        streaming.block_total = data["block_total"]
+        return streaming
 
 
 @dataclass
@@ -501,6 +823,24 @@ class PipelineMetrics:
     #: (``FabricConfig.channels >= 2``, ``repro.channels``); None (and
     #: absent from summaries) on single-runtime runs.
     channels: Optional[ChannelFleetStats] = None
+    #: O(1)-memory aggregates. Set only when the run enabled
+    #: ``FabricConfig.streaming_metrics``; None (and absent from metric
+    #: snapshots) otherwise, so default runs stay byte-identical to
+    #: pre-streaming builds. While set, the per-transaction lists above
+    #: (``commit_latencies``, ``outcome_times``, ``phase_latencies``,
+    #: ``block_sizes``) stay empty.
+    streaming: Optional[StreamingMetrics] = None
+
+    def enable_streaming(self, seed: int = 0) -> StreamingMetrics:
+        """Switch this metrics object to O(1)-memory streaming mode.
+
+        Must happen before any sample is recorded; the seed feeds the
+        latency reservoir's replacement stream (use ``mix_seed(seed,
+        STREAMING_SEED_SALT, ...)`` so it is independent of simulation
+        randomness).
+        """
+        self.streaming = StreamingMetrics(seed)
+        return self.streaming
 
     def record_fired(self) -> None:
         """Count one fired proposal."""
@@ -514,6 +854,13 @@ class PipelineMetrics:
     ) -> None:
         """Count a terminal outcome, with latency for committed txs."""
         self.outcomes[outcome] += 1
+        streaming = self.streaming
+        if streaming is not None:
+            if now is not None:
+                streaming.window.observe(now, outcome.is_success)
+            if outcome.is_success and latency is not None:
+                streaming.latency.add(latency)
+            return
         if now is not None:
             self.outcome_times.append((now, outcome))
         if outcome.is_success and latency is not None:
@@ -521,6 +868,10 @@ class PipelineMetrics:
 
     def _windowed(self, want_success: bool) -> int:
         """Outcomes inside the measurement window (fallback: totals)."""
+        streaming = self.streaming
+        if streaming is not None and streaming.window.window_end is not None:
+            window = streaming.window
+            return window.windowed_success if want_success else window.windowed_fail
         if not self.outcome_times:
             return self.successful if want_success else self.failed
         return sum(
@@ -540,7 +891,10 @@ class PipelineMetrics:
     def record_block(self, num_transactions: int) -> None:
         """Count a committed block."""
         self.blocks_committed += 1
-        self.block_sizes.append(num_transactions)
+        if self.streaming is not None:
+            self.streaming.block_total += num_transactions
+        else:
+            self.block_sizes.append(num_transactions)
 
     def record_phases(
         self, endorse: float, order: float, validate: float
@@ -551,6 +905,14 @@ class PipelineMetrics:
         ``order`` spans assembly to block cut; ``validate`` spans cut to
         commit at the reference peer.
         """
+        streaming = self.streaming
+        if streaming is not None:
+            streaming.phase_count += 1
+            sums = streaming.phase_sums
+            sums[0] += endorse
+            sums[1] += order
+            sums[2] += validate
+            return
         self.phase_latencies.append((endorse, order, validate))
 
     def phase_breakdown(self) -> Optional[Dict[str, float]]:
@@ -560,6 +922,16 @@ class PipelineMetrics:
         (Table 8) comes mostly out of the ordering + validation phases,
         which early abort keeps short.
         """
+        streaming = self.streaming
+        if streaming is not None:
+            if not streaming.phase_count:
+                return None
+            count = streaming.phase_count
+            return {
+                "endorse": streaming.phase_sums[0] / count,
+                "order": streaming.phase_sums[1] / count,
+                "validate": streaming.phase_sums[2] / count,
+            }
         if not self.phase_latencies:
             return None
         count = len(self.phase_latencies)
@@ -607,11 +979,21 @@ class PipelineMetrics:
         return self.successful_tps() + self.failed_tps()
 
     def latency(self) -> Optional[LatencyStats]:
-        """Latency summary over committed transactions."""
+        """Latency summary over committed transactions.
+
+        Streaming runs report exact count/min/avg/max and
+        reservoir-estimated percentiles (see :class:`StreamingLatency`).
+        """
+        if self.streaming is not None:
+            return self.streaming.latency.stats()
         return LatencyStats.from_samples(self.commit_latencies)
 
     def average_block_size(self) -> float:
         """Mean transactions per committed block."""
+        if self.streaming is not None:
+            if not self.blocks_committed:
+                return 0.0
+            return self.streaming.block_total / self.blocks_committed
         if not self.block_sizes:
             return 0.0
         return sum(self.block_sizes) / len(self.block_sizes)
@@ -624,9 +1006,15 @@ class PipelineMetrics:
         Buckets cover ``[0, duration)``; outcomes during the drain period
         are excluded, matching the windowed averages. Useful to inspect
         warm-up and stability of a run.
+
+        Streaming runs return the bounded histogram at its native bucket
+        width (which doubles on very long horizons — see
+        :class:`StreamingWindow`); ``bucket_seconds`` is ignored there.
         """
         if self.duration <= 0 or bucket_seconds <= 0:
             return []
+        if self.streaming is not None:
+            return self.streaming.window.timeseries(self.duration)
         bucket_count = max(1, int(round(self.duration / bucket_seconds)))
         successes = [0] * bucket_count
         failures = [0] * bucket_count

@@ -17,7 +17,12 @@ from repro.errors import ConfigError
 from repro.fabric.chaincode import ChaincodeRegistry
 from repro.fabric.client import Client
 from repro.fabric.config import OVERLOAD_SEED_SALT, FabricConfig
-from repro.fabric.metrics import OverloadStats, PipelineMetrics, TxOutcome
+from repro.fabric.metrics import (
+    STREAMING_SEED_SALT,
+    OverloadStats,
+    PipelineMetrics,
+    TxOutcome,
+)
 from repro.fabric.orderer import OrderingService
 from repro.fabric.peer import Peer
 from repro.fabric.policy import AllOrgs, EndorsementPolicy, parse_policy_spec
@@ -66,6 +71,13 @@ class FabricNetwork:
         self.env = env if env is not None else Environment()
         self.registry = IdentityRegistry()
         self.metrics = PipelineMetrics()
+        if config.streaming_metrics:
+            # The reservoir's replacement stream is salted off the run
+            # seed, independent from every simulation stream (metrics
+            # are observational; the schedule must not notice them).
+            self.metrics.enable_streaming(
+                mix_seed(config.seed, STREAMING_SEED_SALT)
+            )
         # The tracer is a runtime-only argument — never part of the
         # config — so cache fingerprints and result rows are unaffected
         # by whether a run was observed.
@@ -471,6 +483,8 @@ class FabricNetwork:
         runtimes share one environment that is run exactly once."""
         if duration <= 0:
             raise ConfigError("duration must be > 0")
+        if self.metrics.streaming is not None:
+            self.metrics.streaming.set_window(duration)
         if self.faults is not None:
             self.faults.start(self)
         for client in self.clients:
@@ -482,6 +496,18 @@ class FabricNetwork:
                 client.stop()
 
         self.env.process(stop_clients(), name="stop-clients")
+
+    def finish(self, duration: float) -> PipelineMetrics:
+        """Finalise metrics after the environment has been run.
+
+        Split out of :meth:`run` so drivers that advance the environment
+        themselves — the sharded fleet and the segmented checkpoint loop
+        (``repro.checkpoint``) — finalise through the exact same code.
+        """
+        if self.tracer is not None:
+            self.metrics.cost_breakdown = self.tracer.breakdown
+        self.metrics.duration = duration
+        return self.metrics
 
     def run(self, duration: float, drain: float = 3.0) -> PipelineMetrics:
         """Fire the workload for ``duration`` simulated seconds.
@@ -501,8 +527,6 @@ class FabricNetwork:
                 self.env.run(until=duration + drain)
             finally:
                 signing.set_trace_recorder(previous)
-            self.metrics.cost_breakdown = self.tracer.breakdown
         else:
             self.env.run(until=duration + drain)
-        self.metrics.duration = duration
-        return self.metrics
+        return self.finish(duration)

@@ -23,7 +23,7 @@ from typing import Dict, List, Union
 
 from repro.errors import LedgerError, LedgerVerificationError
 from repro.ledger.block import Block, BlockHeader
-from repro.ledger.ledger import Ledger
+from repro.ledger.ledger import ContinuityRecord, Ledger
 from repro.ledger.state_db import StateDatabase
 
 SCHEMA_VERSION = 1
@@ -72,7 +72,22 @@ def export_ledger(ledger: Ledger) -> Dict[str, object]:
                 "transactions": transactions,
             }
         )
-    return {"schema_version": SCHEMA_VERSION, "blocks": blocks}
+    payload: Dict[str, object] = {
+        "schema_version": SCHEMA_VERSION,
+        "blocks": blocks,
+    }
+    record = ledger.continuity
+    if record is not None:
+        # Only pruned ledgers carry the key, so unpruned exports stay
+        # byte-identical to every pre-pruning export.
+        payload["continuity"] = {
+            "height": record.height,
+            "tip_hash": record.tip_hash.hex(),
+            "blocks": record.blocks,
+            "txs": record.txs,
+            "valid_txs": record.valid_txs,
+        }
+    return payload
 
 
 def _tx_digest_hex(tx: object) -> str:
@@ -100,7 +115,24 @@ def import_ledger(payload: Dict[str, object]) -> Ledger:
     entries = payload.get("blocks")
     if not isinstance(entries, list):
         raise LedgerVerificationError("ledger export has no 'blocks' list")
-    ledger = Ledger()
+    record = payload.get("continuity")
+    if record is None:
+        ledger = Ledger()
+    else:
+        try:
+            ledger = Ledger.from_continuity(
+                ContinuityRecord(
+                    height=record["height"],
+                    tip_hash=bytes.fromhex(record["tip_hash"]),
+                    blocks=record["blocks"],
+                    txs=record["txs"],
+                    valid_txs=record["valid_txs"],
+                )
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise LedgerVerificationError(
+                f"corrupt continuity record in ledger export: {error!r}"
+            ) from error
     for index, entry in enumerate(entries):
         try:
             transactions = [
@@ -197,7 +229,20 @@ def catch_up_from(source: Ledger, ledger: Ledger, state: StateDatabase) -> int:
     ``Version(block_id, tx_index)``, identical to what live validation
     stamps, so a caught-up peer's state is byte-identical to one that
     never crashed. Returns the number of blocks replayed.
+
+    A pruned source can still serve catch-up as long as it retains every
+    block above the follower's tip (the fleet prune policy guarantees
+    this: the prune point never passes the slowest peer's tip). If the
+    gap reaches below the source's prune point, the replay fails loudly
+    instead of silently skipping history.
     """
+    if ledger.tip_block_id < source.first_block_id - 1:
+        raise LedgerVerificationError(
+            f"catch-up source pruned below height {source.first_block_id}: "
+            f"follower tip is {ledger.tip_block_id}, missing block "
+            f"{ledger.tip_block_id + 1}",
+            block_index=ledger.tip_block_id + 1,
+        )
     replayed = 0
     for block in source:
         if block.block_id <= ledger.tip_block_id:

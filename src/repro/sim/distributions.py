@@ -101,6 +101,14 @@ class Rng:
         """Exponentially distributed float with the given mean."""
         return self._random.expovariate(1.0 / mean)
 
+    def getstate(self) -> tuple:
+        """The underlying generator state (checkpoint digests/snapshots)."""
+        return self._random.getstate()
+
+    def setstate(self, state: tuple) -> None:
+        """Restore a state captured with :meth:`getstate`."""
+        self._random.setstate(state)
+
 
 class ZipfSampler:
     """Zipf(s) sampling over a finite population via the inverse CDF.

@@ -1,0 +1,131 @@
+"""Checkpoint persistence: atomic files, retention, corruption handling."""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.bench.spec import ExperimentSpec
+from repro.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    CheckpointOptions,
+    load_checkpoint,
+    load_latest_checkpoint,
+    run_with_checkpoints,
+    spec_from_checkpoint,
+)
+from repro.core.batch_cutter import BatchCutConfig
+from repro.errors import CheckpointError
+from repro.fabric.config import FabricConfig
+from repro.workloads.registry import WorkloadRef
+
+
+def make_spec() -> ExperimentSpec:
+    config = replace(
+        FabricConfig(),
+        batch=BatchCutConfig(max_transactions=16),
+        clients_per_channel=2,
+        client_rate=90.0,
+        seed=7,
+    )
+    workload = WorkloadRef("smallbank", {"num_users": 40, "s_value": 1.0}, seed=2)
+    return ExperimentSpec(
+        config=config, workload=workload, duration=1.6, drain=0.5
+    )
+
+
+@pytest.fixture(scope="module")
+def checkpoint_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("checkpoints")
+    result, _network, checkpointer = run_with_checkpoints(
+        make_spec(), CheckpointOptions(every=0.5, directory=directory)
+    )
+    assert result is not None
+    assert len(checkpointer.checkpoints) == 4
+    return directory
+
+
+def test_files_use_sequential_zero_padded_names(checkpoint_dir):
+    names = sorted(p.name for p in checkpoint_dir.iterdir())
+    assert names == [
+        "checkpoint-000001.json",
+        "checkpoint-000002.json",
+        "checkpoint-000003.json",
+        "checkpoint-000004.json",
+    ]
+    # Atomic publish never leaves temp files behind.
+    assert not list(checkpoint_dir.glob("*.tmp"))
+
+
+def test_load_checkpoint_round_trips(checkpoint_dir):
+    payload = load_checkpoint(checkpoint_dir / "checkpoint-000002.json")
+    assert payload["schema"] == CHECKPOINT_SCHEMA
+    assert payload["index"] == 2
+    assert payload["time"] == pytest.approx(1.0)
+    spec = spec_from_checkpoint(payload)
+    assert isinstance(spec, ExperimentSpec)
+    assert spec.duration == 1.6
+
+
+def test_load_latest_prefers_newest_index(checkpoint_dir):
+    assert load_latest_checkpoint(checkpoint_dir)["index"] == 4
+
+
+def test_load_latest_skips_corrupt_newest_file(checkpoint_dir, tmp_path):
+    for path in checkpoint_dir.iterdir():
+        (tmp_path / path.name).write_bytes(path.read_bytes())
+    (tmp_path / "checkpoint-000004.json").write_text("{ torn write")
+    payload = load_latest_checkpoint(tmp_path)
+    assert payload["index"] == 3
+
+
+def test_load_latest_reports_every_failure(tmp_path):
+    (tmp_path / "checkpoint-000001.json").write_text("not json")
+    with pytest.raises(CheckpointError) as excinfo:
+        load_latest_checkpoint(tmp_path)
+    assert "no loadable checkpoint" in str(excinfo.value)
+    assert "checkpoint-000001.json" in str(excinfo.value)
+
+
+def test_load_missing_target_fails(tmp_path):
+    with pytest.raises(CheckpointError):
+        load_latest_checkpoint(tmp_path / "does-not-exist")
+
+
+def test_schema_mismatch_rejected(checkpoint_dir, tmp_path):
+    payload = load_checkpoint(checkpoint_dir / "checkpoint-000001.json")
+    payload["schema"] = CHECKPOINT_SCHEMA + 1
+    bad = tmp_path / "checkpoint-000001.json"
+    bad.write_text(json.dumps(payload))
+    with pytest.raises(CheckpointError) as excinfo:
+        load_checkpoint(bad)
+    assert "schema" in str(excinfo.value)
+
+
+def test_missing_field_rejected(checkpoint_dir, tmp_path):
+    payload = load_checkpoint(checkpoint_dir / "checkpoint-000001.json")
+    del payload["snapshot"]
+    bad = tmp_path / "checkpoint-000001.json"
+    bad.write_text(json.dumps(payload))
+    with pytest.raises(CheckpointError) as excinfo:
+        load_checkpoint(bad)
+    assert "snapshot" in str(excinfo.value)
+
+
+def test_corrupt_spec_rejected(checkpoint_dir):
+    payload = load_checkpoint(checkpoint_dir / "checkpoint-000001.json")
+    payload = dict(payload, spec="deadbeef")
+    with pytest.raises(CheckpointError) as excinfo:
+        spec_from_checkpoint(payload)
+    assert "spec" in str(excinfo.value)
+
+
+def test_keep_retains_only_newest_files(tmp_path):
+    _result, _network, checkpointer = run_with_checkpoints(
+        make_spec(), CheckpointOptions(every=0.5, directory=tmp_path, keep=2)
+    )
+    assert len(checkpointer.checkpoints) == 4
+    assert sorted(p.name for p in tmp_path.iterdir()) == [
+        "checkpoint-000003.json",
+        "checkpoint-000004.json",
+    ]

@@ -1,0 +1,50 @@
+"""Span-ring eviction surfacing: the profile report and the CLI warning.
+
+A bounded span ring silently overwriting old spans would quietly skew
+the cost attribution that ``repro profile`` reproduces from the paper's
+Figure 1. These tests pin the contract: evictions show up both as a
+``spans_dropped`` column in the summary table and as a stderr warning
+naming the count, the capacity, and the ``--trace-ring`` remedy — and a
+large-enough ring stays silent.
+"""
+
+from repro.cli import main
+
+PROFILE_ARGS = [
+    "profile", "--workload", "blank", "--clients", "1",
+    "--client-rate", "60", "--duration", "1", "--drain", "1",
+    "--block-size", "16",
+]
+
+
+def test_small_ring_warns_and_reports_drops(capsys):
+    exit_code = main(PROFILE_ARGS + ["--trace-ring", "64"])
+    assert exit_code == 0
+    captured = capsys.readouterr()
+    assert "spans_dropped" in captured.out
+    assert "trace ring overflowed" in captured.err
+    assert "capacity 64" in captured.err
+    assert "--trace-ring" in captured.err
+
+
+def test_large_ring_stays_silent(capsys):
+    exit_code = main(PROFILE_ARGS + ["--trace-ring", "500000"])
+    assert exit_code == 0
+    captured = capsys.readouterr()
+    assert "trace ring overflowed" not in captured.err
+    # The column still exists and reports zero drops.
+    assert "spans_dropped" in captured.out
+
+
+def test_run_with_trace_and_small_ring_warns(tmp_path, capsys):
+    trace_path = tmp_path / "trace.json"
+    exit_code = main(
+        ["run", "--workload", "blank", "--clients", "1",
+         "--client-rate", "60", "--duration", "1", "--drain", "1",
+         "--block-size", "16", "--trace", str(trace_path),
+         "--trace-ring", "64"]
+    )
+    assert exit_code == 0
+    captured = capsys.readouterr()
+    assert "trace ring overflowed" in captured.err
+    assert trace_path.exists()
